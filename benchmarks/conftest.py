@@ -1,0 +1,48 @@
+"""Shared configuration for the per-figure benchmarks.
+
+Each benchmark regenerates one table or figure of the paper at a
+scaled-down (laptop) configuration and asserts the *shape* of the
+result — who wins, by roughly what factor — matching EXPERIMENTS.md.
+The session-scoped :class:`Experiments` instance caches the expensive
+suite runs so related figures share one evaluation pass.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+paper-style tables printed by each benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import ExperimentConfig, Experiments
+from repro.workload.orderings import Ordering
+from repro.workload.suite import SuiteConfig
+
+BENCH_SUITE = SuiteConfig(
+    num_templates=10,
+    instances_per_sequence=150,
+    instances_high_d=200,
+    seed=7,
+)
+
+BENCH_ORDERINGS = [
+    Ordering.RANDOM,
+    Ordering.DECREASING_COST,
+    Ordering.INSIDE_OUT,
+]
+
+
+@pytest.fixture(scope="session")
+def experiments() -> Experiments:
+    config = ExperimentConfig(
+        suite=BENCH_SUITE,
+        db_scale=0.4,
+        orderings=BENCH_ORDERINGS,
+        lam=2.0,
+    )
+    return Experiments(config)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,38 @@
+"""Appendix E — choosing the redundancy threshold λ_r.
+
+Paper (TPC-DS Q18, 4000 instances, λ=1.1): λ_r=1 (store everything)
+keeps 77 plans with up to 8 recost calls per getPlan; λ_r=1.01 drops
+to 14 plans / 5 calls; λ_r=√λ to 5 plans / 3 calls with TC only
+1.03→1.04; pushing λ_r higher stops helping and raises numOpt (the
+shrinking λ/S budgets close selectivity regions).
+"""
+
+from conftest import run_once
+from repro.harness.reporting import format_table
+from repro.workload.templates import tpcds_templates
+
+# None encodes the sqrt(lambda) rule.
+LAMBDA_RS = (1.0, 1.02, None, 1.09)
+
+
+def test_appE_lambda_r_sweep(experiments, benchmark):
+    template = next(t for t in tpcds_templates() if t.name == "tpcds_q18_like")
+    rows = run_once(
+        benchmark,
+        lambda: experiments.lambda_r_sweep(
+            template, m=500, lam=1.1, lambda_rs=LAMBDA_RS
+        ),
+    )
+    print()
+    print(format_table(rows, title="Appendix E: lambda_r sweep (lambda=1.1)"))
+
+    by_label = {row["lambda_r"]: row for row in rows}
+    keep_all = by_label["1"]
+    sqrt_rule = by_label["sqrt"]
+    # The sqrt rule retains (weakly) fewer plans than storing everything...
+    assert sqrt_rule["numplans"] <= keep_all["numplans"]
+    # ...without a meaningful TotalCostRatio price.
+    assert sqrt_rule["tc"] <= keep_all["tc"] + 0.1
+    # All configurations respect the lambda bound in aggregate.
+    for row in rows:
+        assert row["tc"] < 1.1 + 0.1

@@ -1,0 +1,68 @@
+"""Cache-coverage growth — the mechanism behind Figures 11 and 18.
+
+The paper's falling numOpt curves happen because each optimized
+instance adds an inference region; this benchmark measures that
+directly: Monte Carlo coverage of the selectivity space by the cache's
+regions after growing prefixes of the workload, alongside the running
+numOpt%.  Expected shape: coverage rises monotonically (the cache only
+gains anchors) and total coverage (with the cost check) dominates
+selectivity-only coverage — §5.3's "Recost finds extra reuse".
+"""
+
+from conftest import run_once
+from repro.core.coverage import sample_coverage
+from repro.core.scr import SCR
+from repro.engine.api import EngineAPI
+from repro.harness.reporting import format_table
+from repro.harness.runner import WorkloadRunner
+from repro.workload.generator import instances_for_template
+from repro.workload.templates import tpch_templates
+
+PREFIXES = (25, 100, 400)
+
+
+def run_growth():
+    runner = WorkloadRunner(db_scale=0.4)
+    template = tpch_templates()[0]
+    db = runner.database(template.database)
+    oracle = runner.oracle(template)
+    engine = EngineAPI(template, oracle._optimizer, db.estimator)
+    scr = SCR(engine, lam=2.0)
+    instances = instances_for_template(template, max(PREFIXES), seed=109)
+
+    rows = []
+    processed = 0
+    for prefix in PREFIXES:
+        for inst in instances[processed:prefix]:
+            scr.process(inst)
+        processed = prefix
+        report = sample_coverage(
+            scr.cache, lam=2.0, dimensions=template.dimensions,
+            samples=250, seed=7, recost=engine.recost,
+        )
+        rows.append({
+            "m": prefix,
+            "sel_coverage": report.selectivity_coverage,
+            "total_coverage": report.total_coverage,
+            "running_numopt_pct": 100.0 * scr.optimizer_calls / prefix,
+            "plans": scr.plans_cached,
+        })
+    return rows
+
+
+def test_coverage_growth(experiments, benchmark):
+    rows = run_once(benchmark, run_growth)
+    print()
+    print(format_table(rows, title="Cache coverage vs workload length"))
+
+    # Coverage is monotone in m (anchors only accumulate).
+    totals = [row["total_coverage"] for row in rows]
+    assert all(a <= b + 1e-9 for a, b in zip(totals, totals[1:]))
+    # The cost check extends the selectivity check's reach (§5.3).
+    for row in rows:
+        assert row["total_coverage"] >= row["sel_coverage"]
+    assert rows[-1]["total_coverage"] > rows[-1]["sel_coverage"]
+    # Running numOpt falls as coverage rises (the Figure 11 mechanism).
+    assert rows[-1]["running_numopt_pct"] < rows[0]["running_numopt_pct"]
+    # A warm cache covers a substantial share of the space.
+    assert rows[-1]["total_coverage"] > 0.3

@@ -1,0 +1,103 @@
+"""Sensitivity benchmark: SCR under selectivity-estimation noise.
+
+The paper's framework takes the engine's selectivity estimates as
+ground truth (§2: costs are optimizer-estimated).  In practice the
+sVector itself is estimated from histograms and carries error.  This
+benchmark injects multiplicative noise into the sVector the technique
+sees (the oracle keeps the true values) and measures how gracefully
+SCR's guarantee degrades — a robustness question the paper leaves open.
+
+Expected shape: MSO (measured against the *true*-selectivity optimum)
+degrades smoothly with the noise level and stays far below the
+heuristics' noise-free MSO, because the selectivity/cost checks are
+conservative and noise mostly converts reuse into optimizer calls.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.core.scr import SCR
+from repro.engine.api import EngineAPI
+from repro.harness.reporting import format_table
+from repro.harness.runner import WorkloadRunner
+from repro.query.instance import QueryInstance, SelectivityVector
+from repro.workload.generator import instances_for_template
+from repro.workload.templates import tpch_templates
+
+M = 300
+NOISE_LEVELS = (0.0, 0.1, 0.3, 0.6)
+
+
+class NoisyEngine(EngineAPI):
+    """Engine whose sVector API returns perturbed selectivities.
+
+    Noise is multiplicative log-normal-ish: ``s' = clamp(s * exp(eps))``
+    with ``eps ~ U(-noise, +noise)`` — the standard shape of histogram
+    estimation error.
+    """
+
+    def __init__(self, base: EngineAPI, noise: float, seed: int = 0) -> None:
+        super().__init__(base.template, base.optimizer, base.estimator)
+        self.noise = noise
+        self._rng = np.random.default_rng(seed)
+
+    def selectivity_vector(self, instance):
+        sv = super().selectivity_vector(instance)
+        if self.noise <= 0:
+            return sv
+        eps = self._rng.uniform(-self.noise, self.noise, size=len(sv))
+        noisy = [
+            min(1.0, max(1e-6, s * float(np.exp(e))))
+            for s, e in zip(sv, eps)
+        ]
+        return SelectivityVector.from_sequence(noisy)
+
+
+def run_noise_sweep():
+    runner = WorkloadRunner(db_scale=0.4)
+    template = tpch_templates()[0]
+    db = runner.database(template.database)
+    oracle = runner.oracle(template)
+    instances = instances_for_template(template, M, seed=97)
+
+    rows = []
+    for noise in NOISE_LEVELS:
+        base = EngineAPI(template, oracle._optimizer, db.estimator)
+        engine = NoisyEngine(base, noise=noise, seed=5)
+        scr = SCR(engine, lam=2.0)
+        worst = 1.0
+        chosen_total = optimal_total = 0.0
+        for inst in instances:
+            choice = scr.process(inst)
+            truth = oracle.optimal(inst.selectivities)  # true sVector
+            cost = oracle.plan_cost(choice.shrunken_memo, inst.selectivities)
+            worst = max(worst, cost / truth.optimal_cost)
+            chosen_total += cost
+            optimal_total += truth.optimal_cost
+        rows.append({
+            "noise": noise,
+            "mso_true": worst,
+            "tc_true": chosen_total / optimal_total,
+            "numopt_pct": 100.0 * scr.optimizer_calls / M,
+            "plans": scr.max_plans_cached,
+        })
+    return rows
+
+
+def test_estimation_noise_robustness(experiments, benchmark):
+    rows = run_once(benchmark, run_noise_sweep)
+    print()
+    print(format_table(
+        rows, title="Sensitivity: SCR2 under sVector estimation noise"
+    ))
+
+    by_noise = {row["noise"]: row for row in rows}
+    clean = by_noise[0.0]
+    # Noise-free: the guarantee holds against the true optimum.
+    assert clean["mso_true"] <= 2.0 * 1.01
+    # Degradation is graceful: moderate noise keeps aggregate quality
+    # close to optimal even when individual instances breach the bound.
+    assert by_noise[0.3]["tc_true"] < 1.5
+    # Heavy noise costs quality but SCR never collapses to
+    # heuristic-grade MSO levels (heuristics reach 10-800 noise-free).
+    assert by_noise[0.6]["mso_true"] < 10.0

@@ -1,0 +1,66 @@
+"""Figures 6 & 7 — MSO / TotalCostRatio distributions per technique.
+
+Paper: Optimize-Once shows many sequences with very high MSO and TC;
+Ellipse reduces TC but keeps frequent high-MSO sequences; PCM2 and SCR2
+keep MSO <= 2 except for rare assumption violations, and SCR2 processes
+99% of sequences with TC below ~2.16.
+"""
+
+from conftest import run_once
+from repro.harness.reporting import format_table
+
+
+def test_fig06_optonce_ellipse_distributions(experiments, benchmark):
+    dists = run_once(
+        benchmark,
+        lambda: experiments.suboptimality_distributions(["OptOnce", "Ellipse"]),
+    )
+    rows = []
+    for name, series in dists.items():
+        n = len(series["mso"])
+        high_mso = sum(1 for m in series["mso"] if m > 2.0)
+        rows.append({
+            "technique": name,
+            "sequences": n,
+            "mso_gt_2": high_mso,
+            "tc_max": max(series["total_cost_ratio"]),
+            "mso_max": max(series["mso"]),
+        })
+    print()
+    print(format_table(rows, title="Figure 6: OptOnce & Ellipse distributions"))
+
+    once = dists["OptOnce"]
+    ellipse = dists["Ellipse"]
+    # Both heuristic-era techniques leave many high-MSO sequences...
+    assert sum(1 for m in once["mso"] if m > 2.0) >= len(once["mso"]) * 0.3
+    assert max(ellipse["mso"]) > 2.0
+    # ...but Ellipse improves aggregate TC over OptOnce.
+    assert (sum(ellipse["total_cost_ratio"]) / len(ellipse["total_cost_ratio"])
+            < sum(once["total_cost_ratio"]) / len(once["total_cost_ratio"]))
+
+
+def test_fig07_pcm_scr_distributions(experiments, benchmark):
+    dists = run_once(
+        benchmark,
+        lambda: experiments.suboptimality_distributions(["PCM2", "SCR2"]),
+    )
+    rows = []
+    for name, series in dists.items():
+        n = len(series["mso"])
+        rows.append({
+            "technique": name,
+            "sequences": n,
+            "mso_le_2": sum(1 for m in series["mso"] if m <= 2.0 * 1.001),
+            "tc_p99_ish": sorted(series["total_cost_ratio"])[int(0.99 * (n - 1))],
+        })
+    print()
+    print(format_table(rows, title="Figure 7: PCM2 & SCR2 distributions"))
+
+    for name in ("PCM2", "SCR2"):
+        series = dists[name]
+        n = len(series["mso"])
+        within = sum(1 for m in series["mso"] if m <= 2.0 * 1.001)
+        # Bound holds for the vast majority (violations are rare).
+        assert within >= n * 0.9, f"{name}: only {within}/{n} within bound"
+    scr_tc = sorted(dists["SCR2"]["total_cost_ratio"])
+    assert scr_tc[int(0.99 * (len(scr_tc) - 1))] < 2.2  # paper: 2.16

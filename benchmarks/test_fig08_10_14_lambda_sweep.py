@@ -1,0 +1,35 @@
+"""Figures 8, 10 & 14 — SCR metrics as the bound λ varies.
+
+Paper: TotalCostRatio stays far below λ and the gap widens with λ
+(Fig. 8; average TC ~1.1 at λ=2); numOpt falls sharply with λ
+(Fig. 10; avg 12% at λ=1.1 to ~3% at λ=2); numPlans falls with λ
+(Fig. 14).
+"""
+
+from conftest import run_once
+from repro.harness.reporting import format_table
+
+LAMBDAS = (1.1, 1.2, 1.5, 2.0)
+
+
+def test_fig08_10_14_lambda_sweep(experiments, benchmark):
+    rows = run_once(benchmark, lambda: experiments.lambda_sweep(LAMBDAS))
+    print()
+    print(format_table(rows, title="Figures 8/10/14: SCR lambda sweep"))
+
+    # Figure 8: TC consistently below lambda, gap grows with lambda.
+    for row in rows:
+        assert row["tc_mean"] < row["lambda"]
+    gaps = [row["lambda"] - row["tc_mean"] for row in rows]
+    assert gaps[-1] > gaps[0]
+    # Paper: average TC ~1.1 at lambda=2.
+    assert rows[-1]["tc_mean"] < 1.3
+
+    # Figure 10: numOpt decreases with lambda.
+    numopts = [row["numopt_mean"] for row in rows]
+    assert numopts[-1] < numopts[0]
+    assert numopts[-1] < 0.6 * numopts[0]
+
+    # Figure 14: numPlans decreases with lambda.
+    plans = [row["numplans_mean"] for row in rows]
+    assert plans[-1] < plans[0]

@@ -1,0 +1,28 @@
+"""Figure 9 — optimizer-call fraction (numOpt %) per technique.
+
+Paper: PCM2's overheads can be very high on adversarial orderings;
+SCR2 is significantly better than most techniques and comparable to
+the best heuristic (Ranges): SCR2 95p 13.9% vs Ranges 10.9%, averages
+3.7% vs 3.2%, while PCM averages >30%.
+"""
+
+from conftest import run_once
+from repro.harness.reporting import format_table
+
+
+def test_fig09_numopt_per_technique(experiments, benchmark):
+    rows = run_once(benchmark, experiments.technique_aggregates)
+    cols = ["technique", "numopt_mean", "numopt_p95"]
+    print()
+    print(format_table(rows, columns=cols, title="Figure 9: numOpt %"))
+
+    by_name = {row["technique"]: row for row in rows}
+    scr = by_name["SCR2"]
+    pcm = by_name["PCM2"]
+    # SCR needs far fewer optimizer calls than PCM...
+    assert scr["numopt_mean"] < 0.5 * pcm["numopt_mean"]
+    # ...and is in the same league as the best heuristic.
+    best_heuristic = min(
+        by_name[name]["numopt_mean"] for name in ("Ellipse", "Density", "Ranges")
+    )
+    assert scr["numopt_mean"] < 3.0 * best_heuristic

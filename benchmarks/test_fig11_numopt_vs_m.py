@@ -1,0 +1,35 @@
+"""Figure 11 — 4-d query: numOpt % falls as workload length grows.
+
+Paper: on a 4-dimensional query with m from 1,000 to 10,000, SCR2's
+numOpt improves from 6.5% to <1%, SCR1.1 approaches PCM2's quality
+role, and PCM2 stays far above both.
+"""
+
+from conftest import run_once
+from repro.harness.reporting import format_table
+from repro.workload.templates import dimension_sweep_template
+
+LENGTHS = (250, 500, 1000, 2000)
+
+
+def test_fig11_numopt_vs_m_4d(experiments, benchmark):
+    template = dimension_sweep_template(4)
+    rows = run_once(
+        benchmark,
+        lambda: experiments.numopt_vs_m(template, lengths=LENGTHS),
+    )
+    print()
+    print(format_table(rows, title="Figure 11: numOpt % vs m (4-d query)"))
+
+    series = {}
+    for row in rows:
+        series.setdefault(row["technique"], {})[row["m"]] = row["numopt_pct"]
+
+    for name in ("SCR2", "SCR1.1", "PCM2"):
+        # Running numOpt % decreases as the workload lengthens.
+        values = [series[name][m] for m in LENGTHS]
+        assert values[-1] < values[0], f"{name}: {values}"
+    # SCR2 ends far below PCM2.
+    assert series["SCR2"][LENGTHS[-1]] < 0.5 * series["PCM2"][LENGTHS[-1]]
+    # Larger lambda helps throughout.
+    assert series["SCR2"][LENGTHS[-1]] <= series["SCR1.1"][LENGTHS[-1]]

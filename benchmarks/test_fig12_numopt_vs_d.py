@@ -1,0 +1,38 @@
+"""Figure 12 — numOpt % as the number of parameterized predicates grows.
+
+Paper: PCM2's optimizer overheads grow ~10% per added dimension
+(beyond 50% at d=10), while SCR2 starts around 6% and grows ~5% per
+dimension — SCR scales better with dimensionality.  At our reduced
+sequence lengths PCM saturates sooner, but the orderings hold: SCR2
+stays below PCM2 at every d and starts an order of magnitude lower.
+"""
+
+from conftest import run_once
+from repro.harness.reporting import format_table
+
+DIMS = (2, 4, 6, 8, 10)
+
+
+def test_fig12_numopt_vs_dimensions(experiments, benchmark):
+    rows = run_once(
+        benchmark, lambda: experiments.numopt_vs_dimensions(dims=DIMS, m=600)
+    )
+    print()
+    print(format_table(rows, title="Figure 12: numOpt % vs d"))
+
+    series = {}
+    for row in rows:
+        series.setdefault(row["technique"], {})[row["d"]] = row["numopt_pct"]
+
+    # At every dimensionality SCR2 needs fewer calls than PCM2.
+    for d in DIMS:
+        assert series["SCR2"][d] < series["PCM2"][d]
+    # SCR2 starts low in low dimensions (paper: ~6%).
+    assert series["SCR2"][2] < 15.0
+    # PCM2 is already expensive at d=2 and saturates with d.
+    assert series["PCM2"][2] > 2 * series["SCR2"][2]
+    # Overheads grow with dimensionality for both techniques.
+    assert series["SCR2"][10] > series["SCR2"][2]
+    assert series["PCM2"][10] >= series["PCM2"][2]
+    # The gap persists in high dimensions.
+    assert series["SCR2"][10] <= 0.9 * series["PCM2"][10]

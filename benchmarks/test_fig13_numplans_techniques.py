@@ -1,0 +1,23 @@
+"""Figure 13 — number of plans cached per technique (log-scale plot).
+
+Paper: SCR2 stores almost an order of magnitude fewer plans than every
+other multi-plan technique (95p values: 15 for SCR2, 93 for the best
+heuristic, 219 for PCM).
+"""
+
+from conftest import run_once
+from repro.harness.reporting import format_table
+
+
+def test_fig13_numplans_per_technique(experiments, benchmark):
+    rows = run_once(benchmark, experiments.technique_aggregates)
+    cols = ["technique", "numplans_mean", "numplans_p95"]
+    print()
+    print(format_table(rows, columns=cols, title="Figure 13: numPlans"))
+
+    by_name = {row["technique"]: row for row in rows}
+    scr_plans = by_name["SCR2"]["numplans_mean"]
+    for other in ("PCM2", "Ellipse", "Density", "Ranges"):
+        assert scr_plans < by_name[other]["numplans_mean"], other
+    # Substantially fewer than PCM (paper: ~15x at the 95th percentile).
+    assert scr_plans < 0.5 * by_name["PCM2"]["numplans_mean"]

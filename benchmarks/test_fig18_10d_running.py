@@ -1,0 +1,34 @@
+"""Figure 18 (Appendix H.3) — 10-d query: running numOpt % vs m.
+
+Paper: for a 10-dimensional query the optimizer-call fraction drops
+substantially as the sequence grows (~25% at m=1000 to ~10% at
+m=5000 for SCR2, tracking Ellipse), while PCM2 stays much higher
+(~35% even at m=5000).
+"""
+
+from conftest import run_once
+from repro.harness.reporting import format_table
+from repro.workload.templates import dimension_sweep_template
+
+LENGTHS = (250, 500, 1000, 2000)
+
+
+def test_fig18_running_numopt_10d(experiments, benchmark):
+    template = dimension_sweep_template(10)
+    rows = run_once(
+        benchmark,
+        lambda: experiments.numopt_vs_m(template, lengths=LENGTHS),
+    )
+    print()
+    print(format_table(rows, title="Figure 18: running numOpt % (10-d)"))
+
+    series = {}
+    for row in rows:
+        series.setdefault(row["technique"], {})[row["m"]] = row["numopt_pct"]
+
+    # Overheads fall with m for SCR2 (the paper's headline trend).
+    assert series["SCR2"][LENGTHS[-1]] < series["SCR2"][LENGTHS[0]]
+    # SCR2 stays below PCM2 at full length.
+    assert series["SCR2"][LENGTHS[-1]] < series["PCM2"][LENGTHS[-1]]
+    # The larger lambda pays off throughout the 10-d run.
+    assert series["SCR2"][LENGTHS[-1]] <= series["SCR1.1"][LENGTHS[-1]]

@@ -1,0 +1,30 @@
+"""Figure 19 (Appendix H.4) — enforcing a plan-cache budget k on SCR2.
+
+Paper: numOpt grows slowly under budgets of 10 and 5 (most workloads
+fit in <=5 plans) and rises significantly only at k=2 — without ever
+compromising the λ guarantee.
+"""
+
+from conftest import run_once
+from repro.harness.reporting import format_table
+
+BUDGETS = (None, 10, 5, 2)
+
+
+def test_fig19_plan_budget(experiments, benchmark):
+    rows = run_once(benchmark, lambda: experiments.plan_budget_sweep(BUDGETS))
+    print()
+    print(format_table(rows, title="Figure 19: numOpt % vs plan budget k"))
+
+    by_k = {row["k"]: row for row in rows}
+    unbounded = by_k["unbounded"]["numopt_mean"]
+    # Moderate budgets barely hurt...
+    assert by_k["10"]["numopt_mean"] <= unbounded * 1.5 + 1.0
+    # ...k=2 hurts the most.
+    assert by_k["2"]["numopt_mean"] >= by_k["10"]["numopt_mean"] - 1e-9
+    # Budgets are actually enforced.
+    for k in (10, 5, 2):
+        assert by_k[str(k)]["numplans_mean"] <= k + 1e-9
+    # The guarantee is not traded away: TC stays below lambda = 2.
+    for row in rows:
+        assert row["tc_mean"] < 2.0

@@ -1,0 +1,32 @@
+"""Figure 21 (Appendix H.6) — existing techniques augmented with Recost.
+
+Paper: giving the heuristics an SCR-style redundancy check improves
+their numPlans (and sometimes numOpt), but their MSO / TotalCostRatio
+stay in the same bad range or get worse — the Recost feature only
+brings overhead savings *with* guarantees when used as SCR uses it.
+"""
+
+from conftest import run_once
+from repro.harness.reporting import format_table
+
+
+def test_fig21_recost_augmented(experiments, benchmark):
+    rows = run_once(benchmark, experiments.recost_augmented_baselines)
+    print()
+    print(format_table(rows, title="Figure 21: heuristics + Recost"))
+
+    by_name = {row["technique"]: row for row in rows}
+    for base in ("Ellipse", "Density", "Ranges"):
+        plain = by_name[base]
+        augmented = by_name[f"{base}+R"]
+        # Redundancy check shrinks the plan cache...
+        assert augmented["numplans_mean"] <= plain["numplans_mean"] + 1e-9
+        # ...but does not repair the sub-optimality problem.
+        assert augmented["mso_mean"] > 2.0 or plain["mso_mean"] <= 2.0
+    # SCR2 remains the only bounded technique in the line-up.
+    scr = by_name["SCR2"]
+    assert scr["mso_mean"] <= 2.0 * 1.05
+    assert all(
+        scr["mso_mean"] <= by_name[f"{b}+R"]["mso_mean"] + 1e-9
+        for b in ("Ellipse", "Density", "Ranges")
+    )

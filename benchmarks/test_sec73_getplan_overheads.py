@@ -1,0 +1,31 @@
+"""Section 7.3 — anatomy of getPlan overheads.
+
+Paper (TPC-DS Q18, 4000 instances, λ=1.1): a naive getPlan would
+recost up to 162 stored plans; the GL-pruning heuristic cuts that to 8
+recost calls, and λ_r=√λ to at most 3 while retaining only 5 plans —
+getPlan overheads stay far below an optimizer call.
+"""
+
+from conftest import run_once
+from repro.harness.reporting import format_table
+from repro.workload.templates import tpcds_templates
+
+
+def test_sec73_getplan_overheads(experiments, benchmark):
+    template = next(t for t in tpcds_templates() if t.name == "tpcds_q18_like")
+    rows = run_once(
+        benchmark,
+        lambda: experiments.getplan_overheads(template, m=500, lam=1.1),
+    )
+    print()
+    print(format_table(rows, title="Section 7.3: getPlan overhead anatomy"))
+
+    naive, pruned, full = rows
+    # GL-pruning caps the worst-case recost calls per getPlan.
+    assert pruned["max_recosts_per_getplan"] <= naive["max_recosts_per_getplan"]
+    assert pruned["max_recosts_per_getplan"] <= 8
+    # The redundancy check shrinks the plan cache further.
+    assert full["numplans"] <= pruned["numplans"]
+    # Quality is not sacrificed along the way.
+    for row in rows:
+        assert row["tc"] < 1.2

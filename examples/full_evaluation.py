@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Run the paper's full evaluation battery at configurable scale.
+
+Drives every experiment from `repro.harness.experiments` — the same
+code the benchmarks call — and prints a consolidated report covering
+all figures and tables.  Defaults to a medium scale; pass ``--paper``
+for the paper-scale configuration (90 templates x 5 orderings x
+1000/2000 instances; hours of compute) or ``--quick`` for a fast pass.
+
+Run:  python examples/full_evaluation.py [--quick|--paper]
+"""
+
+import sys
+import time
+
+from repro.harness.experiments import ExperimentConfig, Experiments
+from repro.harness.reporting import format_table
+from repro.workload.orderings import Ordering
+from repro.workload.suite import SuiteConfig
+from repro.workload.templates import (
+    dimension_sweep_template,
+    tpcds_templates,
+)
+
+
+def make_config(mode: str) -> ExperimentConfig:
+    if mode == "--paper":
+        return ExperimentConfig(
+            suite=SuiteConfig.paper_scale(), db_scale=1.0,
+            orderings=list(Ordering),
+        )
+    if mode == "--quick":
+        return ExperimentConfig.smoke()
+    return ExperimentConfig(
+        suite=SuiteConfig(num_templates=12, instances_per_sequence=200,
+                          instances_high_d=300),
+        db_scale=0.5,
+        orderings=[Ordering.RANDOM, Ordering.DECREASING_COST,
+                   Ordering.INSIDE_OUT],
+    )
+
+
+def main() -> None:
+    mode = sys.argv[1] if len(sys.argv) > 1 else "--medium"
+    experiments = Experiments(make_config(mode))
+    start = time.time()
+
+    print("=" * 72)
+    print("Figures 9/13/16/17: per-technique aggregates")
+    print("=" * 72)
+    print(format_table(experiments.technique_aggregates()))
+
+    print()
+    print("=" * 72)
+    print("Figures 8/10/14: SCR lambda sweep")
+    print("=" * 72)
+    print(format_table(experiments.lambda_sweep()))
+
+    print()
+    print("=" * 72)
+    print("Figure 11: numOpt% vs m (4-d query)")
+    print("=" * 72)
+    fig11_rows = experiments.numopt_vs_m(
+        dimension_sweep_template(4), lengths=(250, 500, 1000))
+    print(format_table(fig11_rows))
+    from repro.harness.figures import line_chart, rows_to_series
+
+    print()
+    print(line_chart(
+        rows_to_series(fig11_rows, "technique", "m", "numopt_pct"),
+        title="numOpt% vs m", x_label="m", y_label="numOpt%",
+    ))
+
+    print()
+    print("=" * 72)
+    print("Figure 12: numOpt% vs dimensions")
+    print("=" * 72)
+    print(format_table(experiments.numopt_vs_dimensions(dims=(2, 4, 6, 8, 10))))
+
+    print()
+    print("=" * 72)
+    print("Figure 15: OptOnce-easy sequences")
+    print("=" * 72)
+    print(format_table(experiments.easy_sequence_comparison()))
+
+    print()
+    print("=" * 72)
+    print("Figure 19: plan budget sweep")
+    print("=" * 72)
+    print(format_table(experiments.plan_budget_sweep()))
+
+    print()
+    print("=" * 72)
+    print("Figure 20: random orderings only")
+    print("=" * 72)
+    print(format_table(experiments.random_ordering_overheads()))
+
+    print()
+    print("=" * 72)
+    print("Figure 21: Recost-augmented heuristics")
+    print("=" * 72)
+    print(format_table(experiments.recost_augmented_baselines()))
+
+    q25 = next(t for t in tpcds_templates() if t.name == "tpcds_q25_like")
+    q18 = next(t for t in tpcds_templates() if t.name == "tpcds_q18_like")
+
+    print()
+    print("=" * 72)
+    print("Appendix D: dynamic lambda (tpcds_q25_like)")
+    print("=" * 72)
+    print(format_table(experiments.dynamic_lambda_experiment(q25, m=400)))
+
+    print()
+    print("=" * 72)
+    print("Appendix E: lambda_r sweep (tpcds_q18_like)")
+    print("=" * 72)
+    print(format_table(experiments.lambda_r_sweep(q18, m=500, lam=1.1)))
+
+    print()
+    print("=" * 72)
+    print("Section 7.3: getPlan overhead anatomy (tpcds_q18_like)")
+    print("=" * 72)
+    print(format_table(experiments.getplan_overheads(q18, m=500, lam=1.1)))
+
+    print(f"\nTotal evaluation time: {time.time() - start:.1f}s (mode {mode})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Analysis tooling: plan diagrams and anorexic reduction."""
+
+from .plan_diagram import (
+    PlanDiagram,
+    ReductionResult,
+    anorexic_reduction,
+    compute_plan_diagram,
+)
+
+__all__ = [
+    "PlanDiagram",
+    "ReductionResult",
+    "anorexic_reduction",
+    "compute_plan_diagram",
+]

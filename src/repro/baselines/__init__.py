@@ -1,0 +1,19 @@
+"""Baseline online PQO techniques the paper compares against."""
+
+from .density import Density
+from .ellipse import Ellipse
+from .pcm import PCM
+from .ranges import Ranges
+from .store import BaselinePlanStore, StoredPlan
+from .trivial import OptimizeAlways, OptimizeOnce
+
+__all__ = [
+    "BaselinePlanStore",
+    "Density",
+    "Ellipse",
+    "OptimizeAlways",
+    "OptimizeOnce",
+    "PCM",
+    "Ranges",
+    "StoredPlan",
+]

@@ -1,0 +1,97 @@
+"""Density — parametric plan caching via density-based clustering
+(Aluc, DeHaan, Bowman; the paper's reference [2]).
+
+Inference criterion (Table 1): a new instance skips optimization when a
+circular neighborhood around it contains *enough* previously optimized
+instances whose optimal plan agrees.  Parameters follow the paper's
+evaluation: ``radius = 0.1``, ``confidence threshold = 0.5``; a
+DBSCAN-style ``min_points`` controls how many neighbors are "enough".
+The modal plan among the neighbors is reused.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from ..engine.api import EngineAPI
+from ..query.instance import SelectivityVector
+from ..core.technique import OnlinePQOTechnique, PlanChoice
+from .store import BaselinePlanStore
+
+
+class Density(OnlinePQOTechnique):
+    """Density-based plan inference."""
+
+    def __init__(
+        self,
+        engine: EngineAPI,
+        radius: float = 0.1,
+        confidence: float = 0.5,
+        min_points: int = 2,
+        lambda_r: float | None = None,
+    ) -> None:
+        super().__init__(engine)
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        if not (0.0 < confidence <= 1.0):
+            raise ValueError("confidence must be in (0, 1]")
+        if min_points < 1:
+            raise ValueError("min_points must be >= 1")
+        self.radius = radius
+        self.confidence = confidence
+        self.min_points = min_points
+        self.store = BaselinePlanStore(lambda_r=lambda_r)
+        self._points: list[tuple[float, ...]] = []
+        self._plan_ids: list[int] = []
+        self._points_arr = np.empty((0, 0))
+        self._dirty = False
+
+    name = "Density"
+
+    def _choose(self, sv: SelectivityVector) -> PlanChoice:
+        plan_id = self._lookup(sv)
+        if plan_id is not None:
+            plan = next(p for p in self.store.plans() if p.plan_id == plan_id)
+            return PlanChoice(
+                shrunken_memo=plan.shrunken_memo,
+                plan_signature=plan.signature,
+                used_optimizer=False,
+                check="density",
+                plan=plan.plan,
+            )
+        result = self._optimize(sv)
+        plan = self.store.register(sv, result, self.engine.recost)
+        self._points.append(tuple(sv))
+        self._plan_ids.append(plan.plan_id)
+        self._dirty = True
+        return PlanChoice(
+            shrunken_memo=plan.shrunken_memo,
+            plan_signature=plan.signature,
+            used_optimizer=True,
+            check="optimizer",
+            optimal_cost=result.cost,
+            plan=plan.plan,
+        )
+
+    def _lookup(self, sv: SelectivityVector) -> int | None:
+        if len(self._points) < self.min_points:
+            return None
+        if self._dirty:
+            self._points_arr = np.asarray(self._points)
+            self._dirty = False
+        point = np.asarray(tuple(sv))
+        dist = np.linalg.norm(self._points_arr - point, axis=1)
+        neighbors = np.flatnonzero(dist <= self.radius)
+        if neighbors.size < self.min_points:
+            return None
+        counts = Counter(self._plan_ids[int(i)] for i in neighbors)
+        plan_id, votes = counts.most_common(1)[0]
+        if votes / neighbors.size < self.confidence:
+            return None
+        return plan_id
+
+    @property
+    def plans_cached(self) -> int:
+        return self.store.num_plans

@@ -1,0 +1,104 @@
+"""Ellipse — the heuristic variant of Progressive PQO (reference [4]).
+
+Inference criterion (Table 1): a new instance skips optimization when
+it lies inside an elliptical neighborhood whose foci are a pair of
+previously optimized instances that share the same optimal plan.  The
+ellipse with foci ``f1, f2`` and shape parameter ``Δ ∈ (0, 1]`` is
+
+    |q - f1| + |q - f2|  ≤  |f1 - f2| / Δ,
+
+so smaller Δ inflates the ellipse (the paper evaluates Δ = 0.90 and
+0.70).  The reused plan is the foci's shared plan.  There is no cost
+reasoning at all — the source of Ellipse's unbounded sub-optimality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.api import EngineAPI
+from ..query.instance import SelectivityVector
+from ..core.technique import OnlinePQOTechnique, PlanChoice
+from .store import BaselinePlanStore, StoredPlan
+
+
+class Ellipse(OnlinePQOTechnique):
+    """PPQO-Ellipse with shape parameter Δ."""
+
+    def __init__(
+        self,
+        engine: EngineAPI,
+        delta: float = 0.90,
+        lambda_r: float | None = None,
+    ) -> None:
+        super().__init__(engine)
+        if not (0.0 < delta <= 1.0):
+            raise ValueError("delta must be in (0, 1]")
+        self.delta = delta
+        self.store = BaselinePlanStore(lambda_r=lambda_r)
+        # Focus pairs: two point arrays + interfocal distances + plan ids.
+        self._f1: list[tuple[float, ...]] = []
+        self._f2: list[tuple[float, ...]] = []
+        self._plan_of_pair: list[int] = []
+        self._f1_arr = np.empty((0, 0))
+        self._f2_arr = np.empty((0, 0))
+        self._axis = np.empty(0)
+        self._dirty = False
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"Ellipse{self.delta:g}"
+
+    def _choose(self, sv: SelectivityVector) -> PlanChoice:
+        plan_id = self._lookup(sv)
+        if plan_id is not None:
+            plan = next(p for p in self.store.plans() if p.plan_id == plan_id)
+            return PlanChoice(
+                shrunken_memo=plan.shrunken_memo,
+                plan_signature=plan.signature,
+                used_optimizer=False,
+                check="ellipse",
+                plan=plan.plan,
+            )
+        result = self._optimize(sv)
+        plan = self.store.register(sv, result, self.engine.recost)
+        self._add_pairs(sv, plan)
+        return PlanChoice(
+            shrunken_memo=plan.shrunken_memo,
+            plan_signature=plan.signature,
+            used_optimizer=True,
+            check="optimizer",
+            optimal_cost=result.cost,
+            plan=plan.plan,
+        )
+
+    def _lookup(self, sv: SelectivityVector) -> int | None:
+        if not self._f1:
+            return None
+        if self._dirty:
+            self._f1_arr = np.asarray(self._f1)
+            self._f2_arr = np.asarray(self._f2)
+            self._axis = np.linalg.norm(self._f1_arr - self._f2_arr, axis=1)
+            self._dirty = False
+        point = np.asarray(tuple(sv))
+        dist = np.linalg.norm(self._f1_arr - point, axis=1) + np.linalg.norm(
+            self._f2_arr - point, axis=1
+        )
+        inside = dist <= self._axis / self.delta
+        hits = np.flatnonzero(inside)
+        if hits.size == 0:
+            return None
+        return self._plan_of_pair[int(hits[0])]
+
+    def _add_pairs(self, sv: SelectivityVector, plan: StoredPlan) -> None:
+        """Pair the new optimized instance with same-plan predecessors."""
+        new_point = tuple(sv)
+        for other in plan.points[:-1]:  # the new point itself is last
+            self._f1.append(other)
+            self._f2.append(new_point)
+            self._plan_of_pair.append(plan.plan_id)
+            self._dirty = True
+
+    @property
+    def plans_cached(self) -> int:
+        return self.store.num_plans

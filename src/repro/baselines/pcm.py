@@ -1,0 +1,133 @@
+"""PCM — the bounded variant of Progressive Parametric Query
+Optimization (Bizarro, Bruno, DeWitt; the paper's reference [4]).
+
+PCM is the only prior online technique with a sub-optimality guarantee.
+Its inference criterion (Table 1 of the paper): a new instance ``q_c``
+can skip optimization if it lies in the axis-aligned rectangle spanned
+by a pair of previously optimized instances ``(q_lo, q_hi)`` where
+``q_hi`` dominates ``q_lo`` in selectivity space and their optimal
+costs are within a λ-factor.  Under the Plan Cost Monotonicity
+assumption the dominating instance's plan is then λ-optimal everywhere
+inside the rectangle:
+
+    Cost(P_hi, q_c) ≤ Cost(P_hi, q_hi) = C_hi ≤ λ·C_lo ≤ λ·Copt(q_c).
+
+The drawbacks SCR addresses: many optimizer calls are needed before
+usable rectangles exist, and every new plan is stored.
+
+Implementation notes: rectangles are materialized incrementally when an
+instance is optimized (paired against all previously optimized
+instances) and membership is tested with vectorized numpy comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.api import EngineAPI
+from ..query.instance import SelectivityVector
+from ..core.technique import OnlinePQOTechnique, PlanChoice
+from .store import BaselinePlanStore
+
+
+class PCM(OnlinePQOTechnique):
+    """Bounded PPQO with parameter λ."""
+
+    def __init__(
+        self,
+        engine: EngineAPI,
+        lam: float = 2.0,
+        lambda_r: float | None = None,
+    ) -> None:
+        super().__init__(engine)
+        self.lam = lam
+        self.store = BaselinePlanStore(lambda_r=lambda_r)
+        # Optimized instances: sVectors, optimal costs, anchored plan ids.
+        self._points: list[tuple[float, ...]] = []
+        self._costs: list[float] = []
+        self._plan_ids: list[int] = []
+        # Rectangles: lows, highs (arrays), plan id of the dominating end.
+        self._rect_lo: list[tuple[float, ...]] = []
+        self._rect_hi: list[tuple[float, ...]] = []
+        self._rect_plan: list[int] = []
+        self._rect_lo_arr = np.empty((0, 0))
+        self._rect_hi_arr = np.empty((0, 0))
+        self._dirty = False
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"PCM{self.lam:g}"
+
+    def _choose(self, sv: SelectivityVector) -> PlanChoice:
+        plan_id = self._lookup(sv)
+        if plan_id is not None:
+            plan = next(
+                p for p in self.store.plans() if p.plan_id == plan_id
+            )
+            return PlanChoice(
+                shrunken_memo=plan.shrunken_memo,
+                plan_signature=plan.signature,
+                used_optimizer=False,
+                check="rectangle",
+                plan=plan.plan,
+            )
+        result = self._optimize(sv)
+        plan = self.store.register(sv, result, self.engine.recost)
+        self._add_point(sv, result.cost, plan.plan_id)
+        return PlanChoice(
+            shrunken_memo=plan.shrunken_memo,
+            plan_signature=plan.signature,
+            used_optimizer=True,
+            check="optimizer",
+            optimal_cost=result.cost,
+            plan=plan.plan,
+        )
+
+    # -- inference ---------------------------------------------------------
+
+    def _lookup(self, sv: SelectivityVector) -> int | None:
+        if not self._rect_lo:
+            return None
+        if self._dirty:
+            self._rect_lo_arr = np.asarray(self._rect_lo)
+            self._rect_hi_arr = np.asarray(self._rect_hi)
+            self._dirty = False
+        point = np.asarray(tuple(sv))
+        inside = np.all(
+            (self._rect_lo_arr <= point) & (point <= self._rect_hi_arr), axis=1
+        )
+        hits = np.flatnonzero(inside)
+        if hits.size == 0:
+            return None
+        return self._rect_plan[int(hits[0])]
+
+    # -- maintenance -----------------------------------------------------------
+
+    def _add_point(self, sv: SelectivityVector, cost: float, plan_id: int) -> None:
+        new_point = tuple(sv)
+        for old_point, old_cost, old_plan in zip(
+            self._points, self._costs, self._plan_ids
+        ):
+            old_sv = SelectivityVector(old_point)
+            if sv.dominates(old_sv):
+                lo, hi = old_point, new_point
+                lo_cost, hi_plan = old_cost, plan_id
+                hi_cost = cost
+            elif old_sv.dominates(sv):
+                lo, hi = new_point, old_point
+                lo_cost, hi_plan = cost, old_plan
+                hi_cost = old_cost
+            else:
+                continue
+            if hi_cost <= self.lam * lo_cost:
+                self._rect_lo.append(lo)
+                self._rect_hi.append(hi)
+                self._rect_plan.append(hi_plan)
+                self._dirty = True
+        self._points.append(new_point)
+        self._costs.append(cost)
+        self._plan_ids.append(plan_id)
+
+    @property
+    def plans_cached(self) -> int:
+        return self.store.num_plans

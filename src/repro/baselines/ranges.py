@@ -1,0 +1,85 @@
+"""Ranges — selectivity-range plan reuse in the style of Oracle's
+adaptive cursor sharing (Lee, Zait; the paper's reference [17]).
+
+Inference criterion (Table 1): each stored plan keeps the minimum
+bounding rectangle (in selectivity space) of all optimized instances
+that produced it, extended on every side by a ``near selectivity
+range`` slack (the paper uses 0.01).  A new instance inside any plan's
+extended rectangle reuses that plan.  Because the rectangle only ever
+grows and the decision ignores cost behaviour entirely, wrong
+inferences repeat (the section 3 example: any instance close to q7
+keeps getting plan P1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.api import EngineAPI
+from ..query.instance import SelectivityVector
+from ..core.technique import OnlinePQOTechnique, PlanChoice
+from .store import BaselinePlanStore, StoredPlan
+
+
+class Ranges(OnlinePQOTechnique):
+    """Per-plan MBR reuse with a fixed slack."""
+
+    def __init__(
+        self,
+        engine: EngineAPI,
+        slack: float = 0.01,
+        lambda_r: float | None = None,
+    ) -> None:
+        super().__init__(engine)
+        if slack < 0:
+            raise ValueError("slack must be non-negative")
+        self.slack = slack
+        self.store = BaselinePlanStore(lambda_r=lambda_r)
+        self._mbr_lo: dict[int, np.ndarray] = {}
+        self._mbr_hi: dict[int, np.ndarray] = {}
+
+    name = "Ranges"
+
+    def _choose(self, sv: SelectivityVector) -> PlanChoice:
+        plan_id = self._lookup(sv)
+        if plan_id is not None:
+            plan = next(p for p in self.store.plans() if p.plan_id == plan_id)
+            return PlanChoice(
+                shrunken_memo=plan.shrunken_memo,
+                plan_signature=plan.signature,
+                used_optimizer=False,
+                check="range",
+                plan=plan.plan,
+            )
+        result = self._optimize(sv)
+        plan = self.store.register(sv, result, self.engine.recost)
+        self._grow_mbr(sv, plan)
+        return PlanChoice(
+            shrunken_memo=plan.shrunken_memo,
+            plan_signature=plan.signature,
+            used_optimizer=True,
+            check="optimizer",
+            optimal_cost=result.cost,
+            plan=plan.plan,
+        )
+
+    def _lookup(self, sv: SelectivityVector) -> int | None:
+        point = np.asarray(tuple(sv))
+        for plan_id, lo in self._mbr_lo.items():
+            hi = self._mbr_hi[plan_id]
+            if np.all(lo - self.slack <= point) and np.all(point <= hi + self.slack):
+                return plan_id
+        return None
+
+    def _grow_mbr(self, sv: SelectivityVector, plan: StoredPlan) -> None:
+        point = np.asarray(tuple(sv))
+        if plan.plan_id not in self._mbr_lo:
+            self._mbr_lo[plan.plan_id] = point.copy()
+            self._mbr_hi[plan.plan_id] = point.copy()
+        else:
+            np.minimum(self._mbr_lo[plan.plan_id], point, out=self._mbr_lo[plan.plan_id])
+            np.maximum(self._mbr_hi[plan.plan_id], point, out=self._mbr_hi[plan.plan_id])
+
+    @property
+    def plans_cached(self) -> int:
+        return self.store.num_plans

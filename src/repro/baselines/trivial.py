@@ -1,0 +1,77 @@
+"""The two trivial extremes: Optimize-Always and Optimize-Once.
+
+Optimize-Always invokes the optimizer for every instance (perfect plan
+quality, maximal overhead, nothing cached); Optimize-Once optimizes the
+first instance only and reuses that plan forever (minimal overhead,
+unbounded and unquantified sub-optimality) — the commercial default the
+paper's introduction describes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine.api import EngineAPI
+from ..optimizer.recost import ShrunkenMemo
+from ..query.instance import SelectivityVector
+from ..core.technique import OnlinePQOTechnique, PlanChoice
+
+
+class OptimizeAlways(OnlinePQOTechnique):
+    """Optimize every single query instance."""
+
+    name = "OptAlways"
+
+    def _choose(self, sv: SelectivityVector) -> PlanChoice:
+        result = self._optimize(sv)
+        return PlanChoice(
+            shrunken_memo=result.shrunken_memo,
+            plan_signature=result.plan.signature(),
+            used_optimizer=True,
+            check="optimizer",
+            optimal_cost=result.cost,
+            plan=result.plan,
+        )
+
+    @property
+    def plans_cached(self) -> int:
+        # Optimize-Always stores nothing (numPlans = 0 in section 2.1).
+        return 0
+
+
+class OptimizeOnce(OnlinePQOTechnique):
+    """Optimize the first instance; reuse its plan for all others."""
+
+    name = "OptOnce"
+
+    def __init__(self, engine: EngineAPI) -> None:
+        super().__init__(engine)
+        self._plan: Optional[ShrunkenMemo] = None
+        self._physical = None
+        self._signature: str = ""
+
+    def _choose(self, sv: SelectivityVector) -> PlanChoice:
+        if self._plan is None:
+            result = self._optimize(sv)
+            self._plan = result.shrunken_memo
+            self._physical = result.plan
+            self._signature = result.plan.signature()
+            return PlanChoice(
+                shrunken_memo=self._plan,
+                plan_signature=self._signature,
+                used_optimizer=True,
+                check="optimizer",
+                optimal_cost=result.cost,
+                plan=self._physical,
+            )
+        return PlanChoice(
+            shrunken_memo=self._plan,
+            plan_signature=self._signature,
+            used_optimizer=False,
+            check="reuse-first",
+            plan=self._physical,
+        )
+
+    @property
+    def plans_cached(self) -> int:
+        return 0 if self._plan is None else 1

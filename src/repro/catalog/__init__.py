@@ -1,0 +1,26 @@
+"""Catalog substrate: schemas, synthetic data, statistics."""
+
+from .datagen import DatabaseData, TableData, generate_database
+from .schema import Column, ColumnType, ForeignKey, Index, Schema, Table
+from .statistics import (
+    ColumnStatistics,
+    DatabaseStatistics,
+    TableStatistics,
+    build_statistics,
+)
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "ColumnStatistics",
+    "DatabaseData",
+    "DatabaseStatistics",
+    "ForeignKey",
+    "Index",
+    "Schema",
+    "Table",
+    "TableData",
+    "TableStatistics",
+    "build_statistics",
+    "generate_database",
+]

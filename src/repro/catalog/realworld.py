@@ -1,0 +1,177 @@
+"""Synthetic substitutes for the paper's real-world databases RD1/RD2.
+
+The paper evaluates on two proprietary customer databases: RD1 (98 GB,
+normalized, multi-block queries over many relations with 0.5–5 s
+optimization times) and RD2 (780 GB, wide tables enabling query
+templates with d >= 5 parameterized predicates).  Neither is available,
+so we generate two databases with the *structural* properties the paper
+needs from them:
+
+* **rd1** — a normalized OLTP-ish schema with a deep FK chain
+  (7 tables), giving long join paths and a large plan search space —
+  the "expensive optimizer call" regime.
+* **rd2** — a wide fact table with ten independently-skewed numeric
+  attributes plus several dimensions, enabling templates with up to
+  d = 10 parameterized predicates — the high-dimensional regime of
+  Figures 12 and 18.
+
+Scales are laptop-sized; the plan-space shape, join depth and
+dimensionality are what carry over to the experiments.
+"""
+
+from __future__ import annotations
+
+from .schema import Column, Schema, Table
+
+
+def rd1_schema(scale: float = 1.0, skew: float = 1.0) -> Schema:
+    """Normalized order-processing chain: 7 tables, deep FK path."""
+    def rows(n: int) -> int:
+        return max(5, int(n * scale))
+
+    schema = Schema("rd1")
+    schema.add_table(Table(
+        "tenant",
+        [Column("t_id", domain_size=rows(50)), Column("t_tier", domain_size=5)],
+        row_count=rows(50), primary_key="t_id",
+    ))
+    schema.add_table(Table(
+        "account",
+        [
+            Column("a_id", domain_size=rows(2_000)),
+            Column("a_tenant", domain_size=rows(50)),
+            Column("a_balance", domain_size=100_000, skew=skew),
+            Column("a_age_days", domain_size=3_650, skew=0.4),
+        ],
+        row_count=rows(2_000), primary_key="a_id",
+    ))
+    schema.add_table(Table(
+        "contract",
+        [
+            Column("k_id", domain_size=rows(6_000)),
+            Column("k_account", domain_size=rows(2_000)),
+            Column("k_value", domain_size=500_000, skew=skew),
+        ],
+        row_count=rows(6_000), primary_key="k_id",
+    ))
+    schema.add_table(Table(
+        "order_hdr",
+        [
+            Column("o_id", domain_size=rows(40_000)),
+            Column("o_contract", domain_size=rows(6_000)),
+            Column("o_amount", domain_size=200_000, skew=skew),
+            Column("o_date", domain_size=2_000, skew=0.3),
+        ],
+        row_count=rows(40_000), primary_key="o_id",
+    ))
+    schema.add_table(Table(
+        "order_line",
+        [
+            Column("ol_order", domain_size=rows(40_000)),
+            Column("ol_item", domain_size=rows(3_000)),
+            Column("ol_qty", domain_size=100, skew=skew),
+            Column("ol_price", domain_size=50_000, skew=skew),
+        ],
+        row_count=rows(140_000),
+    ))
+    schema.add_table(Table(
+        "item_cat",
+        [
+            Column("ic_id", domain_size=rows(3_000)),
+            Column("ic_weight", domain_size=5_000, skew=skew),
+            Column("ic_list_price", domain_size=50_000, skew=skew),
+        ],
+        row_count=rows(3_000), primary_key="ic_id",
+    ))
+    schema.add_table(Table(
+        "shipment",
+        [
+            Column("sh_order", domain_size=rows(40_000)),
+            Column("sh_delay_days", domain_size=60, skew=skew),
+            Column("sh_cost", domain_size=5_000, skew=skew),
+        ],
+        row_count=rows(35_000),
+    ))
+
+    for child, col, parent, pcol in [
+        ("account", "a_tenant", "tenant", "t_id"),
+        ("contract", "k_account", "account", "a_id"),
+        ("order_hdr", "o_contract", "contract", "k_id"),
+        ("order_line", "ol_order", "order_hdr", "o_id"),
+        ("order_line", "ol_item", "item_cat", "ic_id"),
+        ("shipment", "sh_order", "order_hdr", "o_id"),
+    ]:
+        schema.add_foreign_key(child, col, parent, pcol)
+
+    for table, column in [
+        ("tenant", "t_id"), ("account", "a_id"), ("account", "a_tenant"),
+        ("account", "a_balance"), ("contract", "k_id"),
+        ("contract", "k_account"), ("order_hdr", "o_id"),
+        ("order_hdr", "o_contract"), ("order_hdr", "o_date"),
+        ("order_line", "ol_order"), ("order_line", "ol_item"),
+        ("item_cat", "ic_id"), ("shipment", "sh_order"),
+    ]:
+        schema.add_index(table, column)
+    return schema
+
+
+def rd2_schema(scale: float = 1.0, skew: float = 1.0) -> Schema:
+    """Wide-fact analytics schema: 10 skewed metric columns on the fact."""
+    def rows(n: int) -> int:
+        return max(5, int(n * scale))
+
+    schema = Schema("rd2")
+    schema.add_table(Table(
+        "dim_entity",
+        [
+            Column("e_id", domain_size=rows(4_000)),
+            Column("e_segment", domain_size=20),
+            Column("e_score", domain_size=10_000, skew=skew),
+        ],
+        row_count=rows(4_000), primary_key="e_id",
+    ))
+    schema.add_table(Table(
+        "dim_period",
+        [
+            Column("p_id", domain_size=rows(1_000)),
+            Column("p_quarter", domain_size=40),
+        ],
+        row_count=rows(1_000), primary_key="p_id",
+    ))
+    schema.add_table(Table(
+        "dim_channel",
+        [
+            Column("ch_id", domain_size=rows(100)),
+            Column("ch_spend", domain_size=10_000, skew=skew),
+        ],
+        row_count=rows(100), primary_key="ch_id",
+    ))
+    metric_columns = [
+        Column(f"f_m{i}", domain_size=50_000, skew=skew * (0.5 + 0.1 * i))
+        for i in range(10)
+    ]
+    schema.add_table(Table(
+        "fact_wide",
+        [
+            Column("f_entity", domain_size=rows(4_000)),
+            Column("f_period", domain_size=rows(1_000)),
+            Column("f_channel", domain_size=rows(100)),
+            *metric_columns,
+        ],
+        row_count=rows(150_000),
+    ))
+
+    for child, col, parent, pcol in [
+        ("fact_wide", "f_entity", "dim_entity", "e_id"),
+        ("fact_wide", "f_period", "dim_period", "p_id"),
+        ("fact_wide", "f_channel", "dim_channel", "ch_id"),
+    ]:
+        schema.add_foreign_key(child, col, parent, pcol)
+
+    for table, column in [
+        ("dim_entity", "e_id"), ("dim_period", "p_id"), ("dim_channel", "ch_id"),
+        ("fact_wide", "f_entity"), ("fact_wide", "f_period"),
+        ("fact_wide", "f_m0"), ("fact_wide", "f_m1"),
+    ]:
+        schema.add_index(table, column)
+    return schema

@@ -1,0 +1,43 @@
+"""Named database builders with memoized construction.
+
+The evaluation touches four databases (tpch, tpcds, rd1, rd2); building
+data + statistics takes a moment, so instances are cached per
+(name, scale, seed) and shared across templates, techniques and
+benchmark runs.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+from ..engine.database import Database
+from .realworld import rd1_schema, rd2_schema
+from .schema import Schema
+from .tpcds import tpcds_schema
+from .tpch import tpch_schema
+
+_BUILDERS: dict[str, Callable[[float], Schema]] = {
+    "tpch": tpch_schema,
+    "tpcds": tpcds_schema,
+    "rd1": rd1_schema,
+    "rd2": rd2_schema,
+}
+
+
+def database_names() -> list[str]:
+    """All registered database names."""
+    return sorted(_BUILDERS)
+
+
+@lru_cache(maxsize=None)
+def get_database(name: str, scale: float = 1.0, seed: int = 42) -> Database:
+    """Build (once) and return the named database."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown database {name!r}; available: {database_names()}"
+        ) from None
+    schema = builder(scale)
+    return Database.create(schema, seed=seed)

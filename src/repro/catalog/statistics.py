@@ -1,0 +1,84 @@
+"""Database statistics: per-column histograms and per-table summaries.
+
+These are the statistics the optimizer's cardinality model and the
+selectivity-vector API consume.  They play the role of SQL Server's
+statistics objects in the paper's prototype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..selectivity.histogram import EquiDepthHistogram
+from .datagen import DatabaseData
+from .schema import Schema
+
+
+@dataclass
+class ColumnStatistics:
+    """Statistics for one column: histogram, distinct count, bounds."""
+
+    table: str
+    column: str
+    histogram: EquiDepthHistogram
+    distinct_count: int
+    min_value: float
+    max_value: float
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for one table."""
+
+    table: str
+    row_count: int
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+
+
+@dataclass
+class DatabaseStatistics:
+    """All statistics for a database, keyed by table name."""
+
+    schema: Schema
+    tables: dict[str, TableStatistics] = field(default_factory=dict)
+
+    def table(self, name: str) -> TableStatistics:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(f"no statistics for table {name!r}") from None
+
+    def column(self, table: str, column: str) -> ColumnStatistics:
+        stats = self.table(table)
+        try:
+            return stats.columns[column]
+        except KeyError:
+            raise KeyError(f"no statistics for column {table}.{column}") from None
+
+    def row_count(self, table: str) -> int:
+        return self.table(table).row_count
+
+
+def build_statistics(
+    schema: Schema, data: DatabaseData, buckets: int = 64
+) -> DatabaseStatistics:
+    """Build equi-depth histograms and summaries from generated data."""
+    stats = DatabaseStatistics(schema=schema)
+    for name, table in schema.tables.items():
+        tdata = data.table(name)
+        tstats = TableStatistics(table=name, row_count=tdata.row_count)
+        for col in table.columns:
+            values = tdata.column(col.name)
+            hist = EquiDepthHistogram.from_values(values, buckets=buckets)
+            tstats.columns[col.name] = ColumnStatistics(
+                table=name,
+                column=col.name,
+                histogram=hist,
+                distinct_count=int(len(np.unique(values))),
+                min_value=float(values.min()),
+                max_value=float(values.max()),
+            )
+        stats.tables[name] = tstats
+    return stats

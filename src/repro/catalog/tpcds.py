@@ -1,0 +1,144 @@
+"""A TPC-DS-shaped star/snowflake schema subset.
+
+Substitutes for the paper's TPC-DS database.  It models the two big
+fact tables (store_sales, catalog_sales) against shared dimensions —
+the structure TPC-DS queries such as Q18 and Q25 join over — with many
+numeric dimension/fact attributes so that templates with up to ten
+parameterized predicates can be defined.
+"""
+
+from __future__ import annotations
+
+from .schema import Column, Schema, Table
+
+_BASE_ROWS = {
+    "date_dim": 2_000,
+    "item": 3_000,
+    "customer": 5_000,
+    "customer_demographics": 2_000,
+    "store": 60,
+    "promotion": 120,
+    "store_sales": 90_000,
+    "catalog_sales": 60_000,
+}
+
+
+def tpcds_schema(scale: float = 1.0, skew: float = 0.8) -> Schema:
+    """Build the TPC-DS-like schema (two facts, six dimensions)."""
+    rows = {name: max(5, int(count * scale)) for name, count in _BASE_ROWS.items()}
+    schema = Schema("tpcds")
+
+    schema.add_table(Table(
+        "date_dim",
+        [
+            Column("d_date_sk", domain_size=rows["date_dim"]),
+            Column("d_year", domain_size=8),
+            Column("d_moy", domain_size=12),
+            Column("d_dom", domain_size=31),
+        ],
+        row_count=rows["date_dim"],
+        primary_key="d_date_sk",
+    ))
+    schema.add_table(Table(
+        "item",
+        [
+            Column("i_item_sk", domain_size=rows["item"]),
+            Column("i_current_price", domain_size=10_000, skew=skew),
+            Column("i_wholesale_cost", domain_size=8_000, skew=skew),
+            Column("i_brand_id", domain_size=500, skew=0.4),
+        ],
+        row_count=rows["item"],
+        primary_key="i_item_sk",
+    ))
+    schema.add_table(Table(
+        "customer",
+        [
+            Column("c_customer_sk", domain_size=rows["customer"]),
+            Column("c_cdemo_sk", domain_size=rows["customer_demographics"]),
+            Column("c_birth_year", domain_size=80),
+        ],
+        row_count=rows["customer"],
+        primary_key="c_customer_sk",
+    ))
+    schema.add_table(Table(
+        "customer_demographics",
+        [
+            Column("cd_demo_sk", domain_size=rows["customer_demographics"]),
+            Column("cd_dep_count", domain_size=10),
+            Column("cd_purchase_estimate", domain_size=10_000, skew=skew),
+        ],
+        row_count=rows["customer_demographics"],
+        primary_key="cd_demo_sk",
+    ))
+    schema.add_table(Table(
+        "store",
+        [
+            Column("s_store_sk", domain_size=rows["store"]),
+            Column("s_number_employees", domain_size=300, skew=0.3),
+        ],
+        row_count=rows["store"],
+        primary_key="s_store_sk",
+    ))
+    schema.add_table(Table(
+        "promotion",
+        [
+            Column("p_promo_sk", domain_size=rows["promotion"]),
+            Column("p_cost", domain_size=2_000, skew=skew),
+        ],
+        row_count=rows["promotion"],
+        primary_key="p_promo_sk",
+    ))
+    schema.add_table(Table(
+        "store_sales",
+        [
+            Column("ss_sold_date_sk", domain_size=rows["date_dim"]),
+            Column("ss_item_sk", domain_size=rows["item"]),
+            Column("ss_customer_sk", domain_size=rows["customer"]),
+            Column("ss_store_sk", domain_size=rows["store"]),
+            Column("ss_promo_sk", domain_size=rows["promotion"]),
+            Column("ss_quantity", domain_size=100, skew=skew),
+            Column("ss_sales_price", domain_size=20_000, skew=skew),
+            Column("ss_net_profit", domain_size=30_000, skew=skew),
+            Column("ss_wholesale_cost", domain_size=10_000, skew=skew),
+        ],
+        row_count=rows["store_sales"],
+    ))
+    schema.add_table(Table(
+        "catalog_sales",
+        [
+            Column("cs_sold_date_sk", domain_size=rows["date_dim"]),
+            Column("cs_item_sk", domain_size=rows["item"]),
+            Column("cs_bill_customer_sk", domain_size=rows["customer"]),
+            Column("cs_promo_sk", domain_size=rows["promotion"]),
+            Column("cs_quantity", domain_size=100, skew=skew),
+            Column("cs_sales_price", domain_size=20_000, skew=skew),
+            Column("cs_net_profit", domain_size=30_000, skew=skew),
+        ],
+        row_count=rows["catalog_sales"],
+    ))
+
+    for child, col, parent, pcol in [
+        ("customer", "c_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+        ("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"),
+        ("store_sales", "ss_item_sk", "item", "i_item_sk"),
+        ("store_sales", "ss_customer_sk", "customer", "c_customer_sk"),
+        ("store_sales", "ss_store_sk", "store", "s_store_sk"),
+        ("store_sales", "ss_promo_sk", "promotion", "p_promo_sk"),
+        ("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk"),
+        ("catalog_sales", "cs_item_sk", "item", "i_item_sk"),
+        ("catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk"),
+        ("catalog_sales", "cs_promo_sk", "promotion", "p_promo_sk"),
+    ]:
+        schema.add_foreign_key(child, col, parent, pcol)
+
+    for table, column in [
+        ("date_dim", "d_date_sk"), ("item", "i_item_sk"),
+        ("item", "i_current_price"), ("customer", "c_customer_sk"),
+        ("customer", "c_cdemo_sk"), ("customer_demographics", "cd_demo_sk"),
+        ("store", "s_store_sk"), ("promotion", "p_promo_sk"),
+        ("store_sales", "ss_sold_date_sk"), ("store_sales", "ss_item_sk"),
+        ("store_sales", "ss_customer_sk"), ("store_sales", "ss_sales_price"),
+        ("catalog_sales", "cs_sold_date_sk"), ("catalog_sales", "cs_item_sk"),
+    ]:
+        schema.add_index(table, column)
+    return schema

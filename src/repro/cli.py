@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Package overview: databases, templates, techniques.
+``demo``
+    The quickstart flow: SCR over a generated workload, with metrics.
+``compare [--template NAME] [--m N]``
+    All techniques on one template (the Table 2 line-up).
+``plan-diagram [--template NAME] [--grid N]``
+    ASCII plan diagram for a 2-d template.
+``experiment <id>``
+    One paper experiment at reduced scale (ids: lambda-sweep,
+    aggregates, numopt-vs-m, numopt-vs-d, budget, recost-variants).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baselines import Density, Ellipse, OptimizeAlways, OptimizeOnce, PCM, Ranges
+from .catalog.registry import database_names, get_database
+from .core.scr import SCR
+from .harness.experiments import ExperimentConfig, Experiments
+from .harness.reporting import format_table
+from .harness.runner import SequenceSpec, WorkloadRunner
+from .workload.orderings import Ordering
+from .workload.suite import SuiteConfig
+from .workload.templates import dimension_sweep_template, seed_templates
+
+
+def _find_template(name: str):
+    for template in seed_templates():
+        if template.name == name:
+            return template
+    names = ", ".join(t.name for t in seed_templates())
+    raise SystemExit(f"unknown template {name!r}; available: {names}")
+
+
+def cmd_info(_args) -> None:
+    templates = seed_templates()
+    print("repro — SIGMOD 2017 'Leveraging Re-costing...' reproduction\n")
+    print(f"databases : {', '.join(database_names())}")
+    print(f"templates : {len(templates)} seed templates "
+          f"(d = {min(t.dimensions for t in templates)}.."
+          f"{max(t.dimensions for t in templates)})")
+    rows = [
+        {"template": t.name, "database": t.database,
+         "tables": len(t.tables), "d": t.dimensions}
+        for t in templates
+    ]
+    print()
+    print(format_table(rows))
+    print("\ntechniques: SCR (this paper), PCM, Ellipse, Density, Ranges, "
+          "OptimizeOnce, OptimizeAlways")
+
+
+def cmd_demo(args) -> None:
+    runner = WorkloadRunner(db_scale=0.4)
+    template = _find_template(args.template)
+    spec = SequenceSpec(
+        template=template, m=args.m, ordering=Ordering.RANDOM, seed=1
+    )
+    result = runner.run(spec, lambda e: SCR(e, lam=args.lam), lam=args.lam)
+    print(f"SCR(lambda={args.lam}) over {args.m} instances of {template.name}:")
+    print(f"  MSO            : {result.mso:.3f}  (bound {args.lam})")
+    print(f"  TotalCostRatio : {result.total_cost_ratio:.3f}")
+    print(f"  optimizer calls: {result.num_opt} ({result.num_opt_percent:.1f}%)")
+    print(f"  plans cached   : {result.num_plans}")
+
+
+def cmd_compare(args) -> None:
+    runner = WorkloadRunner(db_scale=0.4)
+    template = _find_template(args.template)
+    spec = SequenceSpec(
+        template=template, m=args.m, ordering=Ordering.RANDOM, seed=1
+    )
+    factories = {
+        "OptAlways": OptimizeAlways,
+        "OptOnce": OptimizeOnce,
+        "PCM2": lambda e: PCM(e, lam=2.0),
+        "Ellipse": lambda e: Ellipse(e, delta=0.9),
+        "Density": lambda e: Density(e),
+        "Ranges": lambda e: Ranges(e, slack=0.01),
+        "SCR2": lambda e: SCR(e, lam=2.0),
+    }
+    rows = []
+    for name, factory in factories.items():
+        result = runner.run(spec, factory)
+        rows.append({
+            "technique": name,
+            "MSO": result.mso,
+            "TC": result.total_cost_ratio,
+            "numOpt%": result.num_opt_percent,
+            "plans": result.num_plans,
+        })
+    print(format_table(rows, title=f"{template.name}, m={args.m}"))
+
+
+def cmd_plan_diagram(args) -> None:
+    from .analysis.plan_diagram import compute_plan_diagram
+    from .engine.api import EngineAPI
+
+    template = _find_template(args.template)
+    if template.dimensions != 2:
+        raise SystemExit(
+            f"plan diagrams need a 2-d template; {template.name} has "
+            f"d={template.dimensions}"
+        )
+    db = get_database(template.database, scale=0.4)
+    engine = db.engine(template)
+    diagram = compute_plan_diagram(engine, grid_size=args.grid)
+    print(f"Plan diagram for {template.name} "
+          f"({diagram.plan_count} distinct plans):\n")
+    print(diagram.render_ascii())
+
+
+def cmd_experiment(args) -> None:
+    config = ExperimentConfig(
+        suite=SuiteConfig(num_templates=8, instances_per_sequence=120,
+                          instances_high_d=160),
+        db_scale=0.4,
+        orderings=[Ordering.RANDOM, Ordering.DECREASING_COST],
+    )
+    experiments = Experiments(config)
+    if args.id == "lambda-sweep":
+        print(format_table(experiments.lambda_sweep(),
+                           title="SCR lambda sweep (Figures 8/10/14)"))
+    elif args.id == "aggregates":
+        print(format_table(experiments.technique_aggregates(),
+                           title="Technique aggregates (Figures 9/13/16/17)"))
+    elif args.id == "numopt-vs-m":
+        rows = experiments.numopt_vs_m(
+            dimension_sweep_template(4), lengths=(100, 250, 500)
+        )
+        print(format_table(rows, title="numOpt% vs m (Figure 11)"))
+    elif args.id == "numopt-vs-d":
+        rows = experiments.numopt_vs_dimensions(dims=(2, 4, 6), m=200)
+        print(format_table(rows, title="numOpt% vs d (Figure 12)"))
+    elif args.id == "budget":
+        print(format_table(experiments.plan_budget_sweep(),
+                           title="Plan budget sweep (Figure 19)"))
+    elif args.id == "recost-variants":
+        print(format_table(experiments.recost_augmented_baselines(),
+                           title="Recost-augmented heuristics (Figure 21)"))
+    else:
+        raise SystemExit(f"unknown experiment id {args.id!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info").set_defaults(func=cmd_info)
+
+    demo = sub.add_parser("demo")
+    demo.add_argument("--template", default="tpch_shipping_priority")
+    demo.add_argument("--m", type=int, default=200)
+    demo.add_argument("--lam", type=float, default=2.0)
+    demo.set_defaults(func=cmd_demo)
+
+    compare = sub.add_parser("compare")
+    compare.add_argument("--template", default="tpcds_q25_like")
+    compare.add_argument("--m", type=int, default=200)
+    compare.set_defaults(func=cmd_compare)
+
+    diagram = sub.add_parser("plan-diagram")
+    diagram.add_argument("--template", default="tpcds_catalog_simple")
+    diagram.add_argument("--grid", type=int, default=20)
+    diagram.set_defaults(func=cmd_plan_diagram)
+
+    experiment = sub.add_parser("experiment")
+    experiment.add_argument("id", choices=[
+        "lambda-sweep", "aggregates", "numopt-vs-m", "numopt-vs-d",
+        "budget", "recost-variants",
+    ])
+    experiment.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""The paper's contribution: the SCR online PQO technique."""
+
+from .bounds import (
+    BoundingFunction,
+    LINEAR_BOUND,
+    QUADRATIC_BOUND,
+    compute_g,
+    compute_gl,
+    compute_l,
+    cost_bounds,
+    recost_suboptimality_bound,
+    suboptimality_bound,
+)
+from .dynamic_lambda import DynamicLambda
+from .get_plan import CandidateOrder, CheckKind, GetPlan, GetPlanDecision
+from .manage_cache import (
+    EvictionPolicy,
+    ManageCache,
+    ManageCacheStats,
+    default_lambda_r,
+)
+from .coverage import CoverageReport, sample_coverage
+from .manager import PQOManager, TemplateState, choose_lambda
+from .persistence import CacheSnapshot, dump_cache, load_cache
+from .seeding import SeedingReport, grid_points, random_points, seed_cache
+from .spatial_index import IndexedGetPlan, InstanceGridIndex
+from .plan_cache import CachedPlan, InstanceEntry, PlanCache
+from .regions import RecostRegion, SelectivityRegion
+from .scr import SCR
+from .technique import OnlinePQOTechnique, PlanChoice
+from .violations import ViolationDetector, ViolationReport
+
+__all__ = [
+    "BoundingFunction",
+    "CandidateOrder",
+    "EvictionPolicy",
+    "CacheSnapshot",
+    "CoverageReport",
+    "sample_coverage",
+    "IndexedGetPlan",
+    "InstanceGridIndex",
+    "PQOManager",
+    "TemplateState",
+    "choose_lambda",
+    "dump_cache",
+    "load_cache",
+    "SeedingReport",
+    "grid_points",
+    "random_points",
+    "seed_cache",
+    "CachedPlan",
+    "CheckKind",
+    "DynamicLambda",
+    "GetPlan",
+    "GetPlanDecision",
+    "InstanceEntry",
+    "LINEAR_BOUND",
+    "ManageCache",
+    "ManageCacheStats",
+    "OnlinePQOTechnique",
+    "PlanCache",
+    "PlanChoice",
+    "QUADRATIC_BOUND",
+    "RecostRegion",
+    "SCR",
+    "SelectivityRegion",
+    "ViolationDetector",
+    "ViolationReport",
+    "compute_g",
+    "compute_gl",
+    "compute_l",
+    "cost_bounds",
+    "default_lambda_r",
+    "recost_suboptimality_bound",
+    "suboptimality_bound",
+]

@@ -1,0 +1,106 @@
+"""Cache coverage analysis: how much of the selectivity space can the
+current plan cache serve without the optimizer?
+
+The paper's inference regions are per-anchor; the *union* of the cached
+anchors' selectivity regions (plus, optimistically, their recost
+regions) determines the probability an arriving instance avoids an
+optimizer call.  This module estimates that union by Monte Carlo
+sampling — a "cache warmth" gauge an operator can watch, and the
+quantity that Figure 11/18's falling numOpt curves implicitly track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..optimizer.recost import ShrunkenMemo
+from ..query.instance import SelectivityVector
+from .bounds import BoundingFunction, LINEAR_BOUND, compute_gl, compute_l
+from .plan_cache import PlanCache
+
+RecostFn = Callable[[ShrunkenMemo, SelectivityVector], float]
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Monte Carlo coverage estimate over a sampled region."""
+
+    samples: int
+    selectivity_check_hits: int
+    cost_check_hits: int
+
+    @property
+    def selectivity_coverage(self) -> float:
+        """Fraction servable by the selectivity check alone."""
+        return self.selectivity_check_hits / self.samples if self.samples else 0.0
+
+    @property
+    def total_coverage(self) -> float:
+        """Fraction servable by either check (needs a recost function)."""
+        hits = self.selectivity_check_hits + self.cost_check_hits
+        return hits / self.samples if self.samples else 0.0
+
+
+def sample_coverage(
+    cache: PlanCache,
+    lam: float,
+    dimensions: int,
+    samples: int = 500,
+    seed: int = 0,
+    low: float = 0.005,
+    high: float = 1.0,
+    bound: BoundingFunction = LINEAR_BOUND,
+    recost: Optional[RecostFn] = None,
+    max_recost_candidates: int = 8,
+) -> CoverageReport:
+    """Estimate cache coverage over log-uniform samples of the space.
+
+    Mirrors getPlan's decision logic (without mutating usage counts):
+    a sample is selectivity-covered if any anchor has
+    ``(G·L)^n ≤ λ/S``, and cost-covered if any of the nearest
+    ``max_recost_candidates`` anchors passes ``R·L^n ≤ λ/S`` (only
+    evaluated when ``recost`` is supplied).
+    """
+    if lam < 1.0:
+        raise ValueError("lambda must be >= 1")
+    rng = np.random.default_rng(seed)
+    points = np.exp(
+        rng.uniform(np.log(low), np.log(high), size=(samples, dimensions))
+    )
+    entries = list(cache.instances())
+
+    sel_hits = 0
+    cost_hits = 0
+    for row in points:
+        sv = SelectivityVector.from_sequence(row)
+        candidates: list[tuple[float, float, object]] = []
+        covered = False
+        for entry in entries:
+            if len(entry.sv) != dimensions:
+                raise ValueError(
+                    "cache anchors and sample dimensions disagree"
+                )
+            g, l = compute_gl(entry.sv, sv)
+            if bound.selectivity_bound(g, l) <= lam / entry.suboptimality:
+                sel_hits += 1
+                covered = True
+                break
+            if not entry.retired:
+                candidates.append((g * l, l, entry))
+        if covered or recost is None:
+            continue
+        candidates.sort(key=lambda item: item[0])
+        for _, l, entry in candidates[:max_recost_candidates]:
+            plan = cache.plan(entry.plan_id)
+            r = recost(plan.shrunken_memo, sv) / entry.optimal_cost
+            if bound.cost_bound(r, l) <= lam / entry.suboptimality:
+                cost_hits += 1
+                break
+    return CoverageReport(
+        samples=samples,
+        selectivity_check_hits=sel_hits,
+        cost_check_hits=cost_hits,
+    )

@@ -1,0 +1,42 @@
+"""Dynamic (cost-dependent) λ — Appendix D.
+
+Cheap query instances tolerate larger sub-optimality because low-cost
+regions of the selectivity space have small selectivity regions and
+high plan density; expensive instances deserve a tighter bound.  The
+paper proposes asking the user for a range ``[λ_min, λ_max]`` and
+mapping an anchor's optimal cost ``C`` to a λ via an exponentially
+decaying function.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DynamicLambda:
+    """Exponential-decay cost→λ schedule.
+
+    ``λ(C) = λ_min + (λ_max − λ_min) · exp(−C / cost_scale)``
+
+    ``cost_scale`` anchors the decay: instances around this cost get
+    roughly the midpoint of the range, far cheaper instances approach
+    ``λ_max`` and far costlier ones approach ``λ_min``.
+    """
+
+    lambda_min: float
+    lambda_max: float
+    cost_scale: float
+
+    def __post_init__(self) -> None:
+        if self.lambda_min < 1.0:
+            raise ValueError("lambda_min must be >= 1")
+        if self.lambda_max < self.lambda_min:
+            raise ValueError("lambda_max must be >= lambda_min")
+        if self.cost_scale <= 0:
+            raise ValueError("cost_scale must be positive")
+
+    def __call__(self, cost: float) -> float:
+        decay = math.exp(-max(cost, 0.0) / self.cost_scale)
+        return self.lambda_min + (self.lambda_max - self.lambda_min) * decay

@@ -1,0 +1,203 @@
+"""The getPlan module (sections 4.3, 5 and 6.2; Algorithm 1).
+
+Given a new query instance's selectivity vector, decide — on the
+critical path of query execution — whether a cached plan can be used
+while preserving λ-optimality:
+
+1. **Selectivity check** over the instance list: reuse anchor ``q_e``'s
+   plan if ``G·L ≤ λ/S`` (no engine call at all).
+2. **Cost check** over the surviving candidates, cheapest-G·L first and
+   capped (the section 6.2 pruning heuristic): reuse if ``R·L ≤ λ/S``
+   where ``R`` comes from one Recost call.
+3. Otherwise report a miss; the caller makes the optimizer call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Optional
+
+from ..optimizer.recost import ShrunkenMemo
+from ..query.instance import SelectivityVector
+from .bounds import BoundingFunction, LINEAR_BOUND, compute_gl
+from .plan_cache import InstanceEntry, PlanCache
+
+
+class CheckKind(Enum):
+    """Which mechanism produced the plan decision for an instance."""
+
+    SELECTIVITY = "selectivity"
+    COST = "cost"
+    OPTIMIZER = "optimizer"
+
+
+class CandidateOrder(Enum):
+    """Cost-check candidate ordering (§6.2 and its alternatives).
+
+    * ``GL`` — increasing G·L product (the paper's choice: low-G·L
+      anchors are most likely to pass the cost check);
+    * ``AREA`` — decreasing selectivity-region area, i.e. anchors whose
+      regions cover the most space first (∝ Π s_i for fixed λ);
+    * ``USAGE`` — decreasing usage count U (popular anchors first).
+    """
+
+    GL = "gl"
+    AREA = "area"
+    USAGE = "usage"
+
+
+@dataclass
+class GetPlanDecision:
+    """Outcome of one getPlan invocation."""
+
+    plan_id: Optional[int]
+    check: CheckKind
+    anchor: Optional[InstanceEntry] = None
+    recost_calls: int = 0
+    # Data for Appendix G violation detection (only set on cost checks):
+    recost_ratio: float = 0.0
+    g: float = 0.0
+    l: float = 0.0
+
+    @property
+    def hit(self) -> bool:
+        return self.plan_id is not None
+
+    @property
+    def inferred_suboptimality(self) -> float:
+        """The bound certified for the reused plan (``S·G·L`` or ``S·R·L``)."""
+        if self.anchor is None:
+            return 1.0
+        if self.check is CheckKind.SELECTIVITY:
+            return self.anchor.suboptimality * self.g * self.l
+        return self.anchor.suboptimality * self.recost_ratio * self.l
+
+
+@dataclass
+class GetPlan:
+    """Configurable getPlan with the paper's pruning heuristic.
+
+    Parameters
+    ----------
+    lam:
+        The sub-optimality bound λ (or a per-instance λ via
+        ``lambda_for``; see Appendix D).
+    max_recost_candidates:
+        Cap on Recost calls per getPlan invocation; candidates are
+        tried in increasing G·L order (section 6.2: "instances with
+        large values of GL are less likely to satisfy the cost check").
+    bound:
+        BCG bounding function (linear by default).
+    lambda_for:
+        Optional map from an anchor's optimal cost to the λ that anchors
+        with that cost should enforce (the dynamic-λ extension).
+    """
+
+    cache: PlanCache
+    lam: float
+    max_recost_candidates: int = 8
+    bound: BoundingFunction = LINEAR_BOUND
+    lambda_for: Optional[Callable[[float], float]] = None
+    candidate_order: CandidateOrder = CandidateOrder.GL
+    # Statistics for the overheads discussion of section 6.2:
+    selectivity_hits: int = 0
+    cost_hits: int = 0
+    misses: int = 0
+    total_recost_calls: int = 0
+    max_recost_calls_single: int = 0
+    entries_scanned: int = 0
+
+    def __post_init__(self) -> None:
+        if self.lam < 1.0:
+            raise ValueError("lambda must be >= 1")
+        if self.max_recost_candidates < 0:
+            raise ValueError("max_recost_candidates must be >= 0")
+
+    def _effective_lambda(self, entry: InstanceEntry) -> float:
+        if self.lambda_for is None:
+            return self.lam
+        return self.lambda_for(entry.optimal_cost)
+
+    def __call__(
+        self,
+        sv: SelectivityVector,
+        recost: Callable[[ShrunkenMemo, SelectivityVector], float],
+    ) -> GetPlanDecision:
+        """Run both checks; ``recost`` is the engine's Recost API."""
+        candidates: list[tuple[float, float, float, InstanceEntry]] = []
+
+        # ---- selectivity check (pure arithmetic over the instance list)
+        for entry in self.cache.instances():
+            self.entries_scanned += 1
+            g, l = compute_gl(entry.sv, sv)
+            budget = self._effective_lambda(entry) / entry.suboptimality
+            if self.bound.selectivity_bound(g, l) <= budget:
+                entry.usage += 1
+                self.cache.touch(entry.plan_id)
+                self.selectivity_hits += 1
+                return GetPlanDecision(
+                    plan_id=entry.plan_id,
+                    check=CheckKind.SELECTIVITY,
+                    anchor=entry,
+                    g=g,
+                    l=l,
+                )
+            if not entry.retired:
+                candidates.append((g * l, g, l, entry))
+
+        # ---- cost check (capped number of Recost calls, ordered per
+        #      the configured heuristic; G·L ascending is the paper's)
+        self._order_candidates(candidates)
+        recost_calls = 0
+        for _, g, l, entry in candidates[: self.max_recost_candidates]:
+            plan = self.cache.plan(entry.plan_id)
+            new_cost = recost(plan.shrunken_memo, sv)
+            recost_calls += 1
+            r = new_cost / entry.optimal_cost
+            budget = self._effective_lambda(entry) / entry.suboptimality
+            if self.bound.cost_bound(r, l) <= budget:
+                entry.usage += 1
+                self.cache.touch(entry.plan_id)
+                self.cost_hits += 1
+                self._note_recosts(recost_calls)
+                return GetPlanDecision(
+                    plan_id=entry.plan_id,
+                    check=CheckKind.COST,
+                    anchor=entry,
+                    recost_calls=recost_calls,
+                    recost_ratio=r,
+                    g=g,
+                    l=l,
+                )
+
+        self.misses += 1
+        self._note_recosts(recost_calls)
+        return GetPlanDecision(
+            plan_id=None, check=CheckKind.OPTIMIZER, recost_calls=recost_calls
+        )
+
+    def _order_candidates(
+        self, candidates: list[tuple[float, float, float, InstanceEntry]]
+    ) -> None:
+        if self.candidate_order is CandidateOrder.GL:
+            candidates.sort(key=lambda item: item[0])
+        elif self.candidate_order is CandidateOrder.AREA:
+            # Region area grows with the product of the anchor's
+            # selectivities (Figure 4's closed form): largest first.
+            candidates.sort(
+                key=lambda item: -_product(item[3].sv)
+            )
+        else:  # USAGE: most-used anchors first.
+            candidates.sort(key=lambda item: -item[3].usage)
+
+    def _note_recosts(self, calls: int) -> None:
+        self.total_recost_calls += calls
+        self.max_recost_calls_single = max(self.max_recost_calls_single, calls)
+
+
+def _product(sv: SelectivityVector) -> float:
+    out = 1.0
+    for s in sv:
+        out *= s
+    return out

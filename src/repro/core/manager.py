@@ -1,0 +1,189 @@
+"""Session-level PQO manager: many templates, one memory budget.
+
+The paper treats one parameterized query at a time; a real deployment
+hosts many templates concurrently, and the plan-cache memory they share
+is bounded.  :class:`PQOManager` routes arriving instances to a
+per-template SCR and enforces a *global* plan budget by periodically
+re-dividing it among templates proportionally to their recent optimizer
+pressure — templates that keep needing new plans get more slots, stable
+templates shrink toward a floor of one plan.
+
+It also applies the paper's section 4.3 adoption guidance: templates
+whose optimization time is trivial relative to execution cost gain
+little from PQO, so the manager can auto-select λ per template from the
+observed optimize-time/cost ratio (the "Choosing λ" heuristic of
+section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..engine.api import EngineAPI
+from ..engine.database import Database
+from ..query.instance import QueryInstance
+from ..query.template import QueryTemplate
+from .scr import SCR
+from .technique import PlanChoice
+
+
+@dataclass
+class TemplateState:
+    """Manager bookkeeping for one registered template."""
+
+    template: QueryTemplate
+    scr: SCR
+    engine: EngineAPI
+    budget: Optional[int] = None
+    instances_seen: int = 0
+
+
+def choose_lambda(
+    optimize_seconds: float,
+    execution_cost: float,
+    cost_per_second: float = 50_000.0,
+    lambda_min: float = 1.1,
+    lambda_max: float = 2.0,
+) -> float:
+    """Section 6.2's "Choosing λ" heuristic.
+
+    A query whose optimization overhead is large relative to its
+    execution cost should run with a generous λ (reuse aggressively);
+    one whose optimization is trivial should keep λ tight.  The ratio
+    ``optimize_time / execution_time`` is mapped linearly into
+    ``[λ_min, λ_max]`` and clamped.
+    """
+    if execution_cost <= 0:
+        return lambda_max
+    execution_seconds = execution_cost / cost_per_second
+    if execution_seconds <= 0:
+        return lambda_max
+    ratio = optimize_seconds / execution_seconds
+    # ratio 0 -> lambda_min; ratio >= 1 (optimization dominates) -> max.
+    clamped = min(1.0, max(0.0, ratio))
+    return lambda_min + (lambda_max - lambda_min) * clamped
+
+
+@dataclass
+class PQOManager:
+    """Routes query instances to per-template SCR instances.
+
+    Parameters
+    ----------
+    database:
+        The database all templates run against.
+    global_plan_budget:
+        Optional cap on the total number of plans cached across all
+        templates.  ``None`` leaves every template unbounded.
+    default_lambda:
+        λ used when a template is registered without one.
+    rebalance_every:
+        Re-divide the global budget after this many processed instances.
+    """
+
+    database: Database
+    global_plan_budget: Optional[int] = None
+    default_lambda: float = 2.0
+    rebalance_every: int = 200
+    scr_factory: Callable[..., SCR] = SCR
+    _templates: dict[str, TemplateState] = field(default_factory=dict)
+    _since_rebalance: int = 0
+
+    def register(
+        self,
+        template: QueryTemplate,
+        lam: Optional[float] = None,
+        **scr_kwargs,
+    ) -> TemplateState:
+        """Register a template; returns its state handle."""
+        if template.name in self._templates:
+            raise ValueError(f"template {template.name!r} already registered")
+        engine = self.database.engine(template)
+        state = TemplateState(
+            template=template,
+            scr=self.scr_factory(
+                engine, lam=lam or self.default_lambda, **scr_kwargs
+            ),
+            engine=engine,
+        )
+        self._templates[template.name] = state
+        self._apply_budgets()
+        return state
+
+    def process(self, instance: QueryInstance) -> PlanChoice:
+        """Route one instance to its template's SCR."""
+        state = self._templates.get(instance.template_name)
+        if state is None:
+            raise KeyError(
+                f"template {instance.template_name!r} is not registered"
+            )
+        choice = state.scr.process(instance)
+        state.instances_seen += 1
+        self._since_rebalance += 1
+        if (
+            self.global_plan_budget is not None
+            and self._since_rebalance >= self.rebalance_every
+        ):
+            self._apply_budgets()
+            self._since_rebalance = 0
+        return choice
+
+    # -- budget division -----------------------------------------------------
+
+    def _apply_budgets(self) -> None:
+        if self.global_plan_budget is None or not self._templates:
+            return
+        states = list(self._templates.values())
+        # Weight templates by optimizer pressure (+1 smoothing), floor 1.
+        weights = [max(1, s.scr.optimizer_calls + 1) for s in states]
+        total_weight = sum(weights)
+        budget = max(self.global_plan_budget, len(states))
+        shares = [
+            max(1, int(budget * w / total_weight)) for w in weights
+        ]
+        # Fix rounding drift by trimming the largest shares.
+        while sum(shares) > budget:
+            shares[shares.index(max(shares))] -= 1
+        for state, share in zip(states, shares):
+            state.budget = share
+            state.scr.manage_cache.plan_budget = share
+            self._shrink_to_budget(state)
+
+    def _shrink_to_budget(self, state: TemplateState) -> None:
+        while (
+            state.budget is not None
+            and state.scr.cache.num_plans > state.budget
+        ):
+            victim = state.scr.cache.min_usage_plan()
+            if victim is None:
+                break
+            state.scr.cache.drop_plan(victim.plan_id)
+            state.scr.manage_cache.stats.plans_evicted += 1
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def total_plans_cached(self) -> int:
+        return sum(s.scr.plans_cached for s in self._templates.values())
+
+    @property
+    def total_optimizer_calls(self) -> int:
+        return sum(s.scr.optimizer_calls for s in self._templates.values())
+
+    def state(self, template_name: str) -> TemplateState:
+        return self._templates[template_name]
+
+    def report(self) -> list[dict[str, object]]:
+        """Per-template summary rows."""
+        rows = []
+        for name, state in sorted(self._templates.items()):
+            rows.append({
+                "template": name,
+                "instances": state.instances_seen,
+                "optimizer_calls": state.scr.optimizer_calls,
+                "plans": state.scr.plans_cached,
+                "budget": state.budget if state.budget is not None else "-",
+                "lambda": state.scr.lam,
+            })
+        return rows

@@ -1,0 +1,145 @@
+"""Plan-cache persistence: survive engine restarts.
+
+Commercial plan caches persist across sessions; the paper's instance
+5-tuples are ~100 bytes and the shrunken memos a few hundred KB per
+plan (section 6.1), so serializing the whole cache is cheap.  This
+module round-trips a :class:`~repro.core.plan_cache.PlanCache` through
+a JSON document: the shrunken memos (all that re-costing and inference
+need) plus the instance list.  Executable plan trees are rebuilt on
+demand by re-optimizing at the anchor — they are intentionally *not*
+serialized, matching the paper's note that alternative Recost
+representations trade memory for time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..optimizer.operators import PhysicalOp
+from ..optimizer.recost import ShrunkenMemo, _RecostNode
+from ..query.instance import SelectivityVector
+from .plan_cache import CachedPlan, InstanceEntry, PlanCache
+
+
+def _node_to_dict(node: _RecostNode) -> dict:
+    return {
+        "op": node.op.value,
+        "child_a": node.child_a,
+        "child_b": node.child_b,
+        "base_rows": node.base_rows,
+        "fixed_selectivity": node.fixed_selectivity,
+        "param_indices": list(node.param_indices),
+        "join_selectivity": node.join_selectivity,
+        "left_sorted": node.left_sorted,
+        "right_sorted": node.right_sorted,
+        "group_distinct": node.group_distinct,
+        "inner_base_rows": node.inner_base_rows,
+        "inner_fixed_selectivity": node.inner_fixed_selectivity,
+        "inner_param_indices": list(node.inner_param_indices),
+    }
+
+
+def _node_from_dict(data: dict) -> _RecostNode:
+    return _RecostNode(
+        op=PhysicalOp(data["op"]),
+        child_a=data["child_a"],
+        child_b=data["child_b"],
+        base_rows=data["base_rows"],
+        fixed_selectivity=data["fixed_selectivity"],
+        param_indices=tuple(data["param_indices"]),
+        join_selectivity=data["join_selectivity"],
+        left_sorted=data["left_sorted"],
+        right_sorted=data["right_sorted"],
+        group_distinct=data["group_distinct"],
+        inner_base_rows=data["inner_base_rows"],
+        inner_fixed_selectivity=data["inner_fixed_selectivity"],
+        inner_param_indices=tuple(data["inner_param_indices"]),
+    )
+
+
+def dump_cache(cache: PlanCache) -> str:
+    """Serialize the plan cache to a JSON string."""
+    plans = []
+    for plan in cache.plans():
+        sm = plan.shrunken_memo
+        plans.append({
+            "plan_id": plan.plan_id,
+            "signature": plan.signature,
+            "template_name": sm.template_name,
+            "nodes": [_node_to_dict(n) for n in sm.nodes],
+            "full_memo_groups": sm.full_memo_groups,
+            "full_memo_expressions": sm.full_memo_expressions,
+        })
+    instances = [
+        {
+            "sv": list(entry.sv),
+            "plan_id": entry.plan_id,
+            "optimal_cost": entry.optimal_cost,
+            "suboptimality": entry.suboptimality,
+            "usage": entry.usage,
+            "retired": entry.retired,
+        }
+        for entry in cache.instances()
+    ]
+    return json.dumps({"version": 1, "plans": plans, "instances": instances})
+
+
+def load_cache(text: str) -> PlanCache:
+    """Rebuild a plan cache from :func:`dump_cache` output.
+
+    Restored :class:`CachedPlan` entries carry ``plan=None`` — callers
+    needing an executable tree re-optimize at any anchoring instance
+    (one optimizer call per plan, amortized away by reuse).
+    """
+    data = json.loads(text)
+    if data.get("version") != 1:
+        raise ValueError(f"unsupported cache dump version {data.get('version')!r}")
+    cache = PlanCache()
+    id_map: dict[int, int] = {}
+    for plan_data in data["plans"]:
+        shrunken = ShrunkenMemo(
+            template_name=plan_data["template_name"],
+            signature=plan_data["signature"],
+            nodes=[_node_from_dict(n) for n in plan_data["nodes"]],
+            full_memo_groups=plan_data["full_memo_groups"],
+            full_memo_expressions=plan_data["full_memo_expressions"],
+        )
+        entry = CachedPlan(
+            plan_id=cache._next_plan_id,
+            signature=plan_data["signature"],
+            plan=None,
+            shrunken_memo=shrunken,
+        )
+        cache._plans[entry.plan_id] = entry
+        cache._by_signature[entry.signature] = entry.plan_id
+        id_map[plan_data["plan_id"]] = entry.plan_id
+        cache._next_plan_id += 1
+    cache.max_plans_seen = cache.num_plans
+    for inst in data["instances"]:
+        cache.add_instance(InstanceEntry(
+            sv=SelectivityVector.from_sequence(inst["sv"]),
+            plan_id=id_map[inst["plan_id"]],
+            optimal_cost=inst["optimal_cost"],
+            suboptimality=inst["suboptimality"],
+            usage=inst["usage"],
+            retired=inst["retired"],
+        ))
+    return cache
+
+
+@dataclass(frozen=True)
+class CacheSnapshot:
+    """Convenience: dump/load against a file path."""
+
+    path: str
+
+    def save(self, cache: PlanCache) -> int:
+        text = dump_cache(cache)
+        with open(self.path, "w") as f:
+            f.write(text)
+        return len(text)
+
+    def load(self) -> PlanCache:
+        with open(self.path) as f:
+            return load_cache(f.read())

@@ -1,0 +1,177 @@
+"""The SCR plan cache: plan list + instance list (section 6.1).
+
+The cache stores two structures:
+
+* a **plan list** — the retained physical plans together with their
+  cacheable re-costing representation (the shrunken memo), and
+* an **instance list** — one 5-tuple ``I = <V, PP, C, S, U>`` per
+  optimized query instance, where ``V`` is the selectivity vector,
+  ``PP`` points into the plan list (possibly at a plan *other* than the
+  instance's optimal one when the redundancy check rejected the new
+  plan), ``C`` is the optimizer-estimated optimal cost at the instance,
+  ``S`` the sub-optimality of the pointed plan there, and ``U`` a usage
+  counter feeding the LFU eviction policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..optimizer.plans import PhysicalPlan
+from ..optimizer.recost import ShrunkenMemo
+from ..query.instance import SelectivityVector
+
+# Approximate per-object memory overheads (bytes), used only for the
+# bookkeeping-overhead reporting the paper discusses in section 6.1.
+INSTANCE_TUPLE_BYTES = 100
+PLAN_BASE_BYTES = 2048
+PLAN_NODE_BYTES = 256
+
+
+@dataclass
+class CachedPlan:
+    """One entry of the plan list."""
+
+    plan_id: int
+    signature: str
+    plan: PhysicalPlan
+    shrunken_memo: ShrunkenMemo
+    last_used_tick: int = 0  # logical time of last reuse (LRU eviction)
+
+    def memory_bytes(self) -> int:
+        return PLAN_BASE_BYTES + PLAN_NODE_BYTES * self.shrunken_memo.node_count
+
+
+@dataclass
+class InstanceEntry:
+    """One 5-tuple of the instance list."""
+
+    sv: SelectivityVector        # V
+    plan_id: int                 # PP (pointer into the plan list)
+    optimal_cost: float          # C
+    suboptimality: float         # S  (of the pointed plan at this instance)
+    usage: int = 1               # U
+    retired: bool = False        # Appendix G: excluded from cost checks
+                                 # after a detected assumption violation.
+
+    @property
+    def pointed_plan_cost(self) -> float:
+        """``Cost(P(q_e), q_e) = C * S``."""
+        return self.optimal_cost * self.suboptimality
+
+
+@dataclass
+class PlanCache:
+    """Plan list + instance list with the paper's maintenance operations."""
+
+    _plans: dict[int, CachedPlan] = field(default_factory=dict)
+    _by_signature: dict[str, int] = field(default_factory=dict)
+    _instances: list[InstanceEntry] = field(default_factory=list)
+    _next_plan_id: int = 0
+    _tick: int = 0
+    max_plans_seen: int = 0
+    plans_dropped: int = 0
+    # Observers (e.g. the §6.2 spatial index) notified on mutation.
+    on_instance_added: list = field(default_factory=list)
+    on_plan_dropped: list = field(default_factory=list)
+
+    def touch(self, plan_id: int) -> None:
+        """Record a reuse of ``plan_id`` (advances the LRU clock)."""
+        self._tick += 1
+        plan = self._plans.get(plan_id)
+        if plan is not None:
+            plan.last_used_tick = self._tick
+
+    # -- plan list ---------------------------------------------------------
+
+    def find_plan(self, signature: str) -> Optional[CachedPlan]:
+        plan_id = self._by_signature.get(signature)
+        return self._plans[plan_id] if plan_id is not None else None
+
+    def plan(self, plan_id: int) -> CachedPlan:
+        return self._plans[plan_id]
+
+    def add_plan(self, plan: PhysicalPlan, shrunken: ShrunkenMemo) -> CachedPlan:
+        signature = plan.signature()
+        existing = self.find_plan(signature)
+        if existing is not None:
+            return existing
+        entry = CachedPlan(
+            plan_id=self._next_plan_id,
+            signature=signature,
+            plan=plan,
+            shrunken_memo=shrunken,
+        )
+        self._plans[entry.plan_id] = entry
+        self._by_signature[signature] = entry.plan_id
+        self._next_plan_id += 1
+        self.max_plans_seen = max(self.max_plans_seen, len(self._plans))
+        return entry
+
+    def drop_plan(self, plan_id: int) -> None:
+        """Remove a plan *and* every instance entry pointing to it.
+
+        Dropping the pointing instances is what preserves the bounded
+        sub-optimality guarantee (section 6.3.1): no future inference
+        can be made through an anchor whose plan is gone.
+        """
+        entry = self._plans.pop(plan_id, None)
+        if entry is None:
+            raise KeyError(f"no cached plan with id {plan_id}")
+        del self._by_signature[entry.signature]
+        self._instances = [i for i in self._instances if i.plan_id != plan_id]
+        self.plans_dropped += 1
+        for listener in self.on_plan_dropped:
+            listener(plan_id)
+
+    def plans(self) -> list[CachedPlan]:
+        return list(self._plans.values())
+
+    @property
+    def num_plans(self) -> int:
+        return len(self._plans)
+
+    # -- instance list -------------------------------------------------------
+
+    def add_instance(self, entry: InstanceEntry) -> None:
+        if entry.plan_id not in self._plans:
+            raise KeyError(f"instance points at unknown plan {entry.plan_id}")
+        self._instances.append(entry)
+        for listener in self.on_instance_added:
+            listener(entry)
+
+    def instances(self) -> Iterator[InstanceEntry]:
+        return iter(self._instances)
+
+    def instances_for(self, plan_id: int) -> list[InstanceEntry]:
+        return [i for i in self._instances if i.plan_id == plan_id]
+
+    @property
+    def num_instances(self) -> int:
+        return len(self._instances)
+
+    def aggregate_usage(self, plan_id: int) -> int:
+        """Sum of U over the plan's instances (the LFU eviction key)."""
+        return sum(i.usage for i in self._instances if i.plan_id == plan_id)
+
+    def min_usage_plan(self) -> Optional[CachedPlan]:
+        """The plan with minimum aggregate usage count (LFU victim)."""
+        if not self._plans:
+            return None
+        return min(
+            self._plans.values(), key=lambda p: self.aggregate_usage(p.plan_id)
+        )
+
+    def lru_plan(self) -> Optional[CachedPlan]:
+        """The least recently reused plan (LRU victim)."""
+        if not self._plans:
+            return None
+        return min(self._plans.values(), key=lambda p: p.last_used_tick)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Approximate cache memory (plan list dominates; section 6.1)."""
+        plans = sum(p.memory_bytes() for p in self._plans.values())
+        return plans + INSTANCE_TUPLE_BYTES * len(self._instances)

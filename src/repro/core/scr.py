@@ -1,0 +1,171 @@
+"""SCR: the paper's online PQO technique (Selectivity / Cost /
+Redundancy checks), tying getPlan and manageCache together.
+
+Per arriving instance:
+
+1. getPlan runs the selectivity check and then the capped, G·L-ordered
+   cost check over the instance list; a hit reuses the cached plan and
+   certifies λ-optimality.
+2. On a miss, the optimizer is called and manageCache decides whether
+   the resulting plan enters the cache (redundancy check, plan budget).
+3. Cost-check observations feed the Appendix G violation detector,
+   which retires anchors whose plan cost behaviour contradicts the
+   BCG/PCM assumptions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..engine.api import EngineAPI
+from ..engine.tracing import TraceLog
+from ..query.instance import SelectivityVector
+from .bounds import BoundingFunction, LINEAR_BOUND
+from .get_plan import CandidateOrder, CheckKind, GetPlan
+from .manage_cache import EvictionPolicy, ManageCache
+from .plan_cache import PlanCache
+from .technique import OnlinePQOTechnique, PlanChoice
+from .violations import ViolationDetector
+
+
+class SCR(OnlinePQOTechnique):
+    """The SCR technique with a configurable sub-optimality bound λ.
+
+    Parameters
+    ----------
+    engine:
+        The per-template engine API (optimize / recost / sVector).
+    lam:
+        Sub-optimality bound λ ≥ 1.  Every processed instance is
+        guaranteed ``SO(q) ≤ λ`` whenever the BCG assumption holds.
+    lambda_r:
+        Redundancy threshold; defaults to √λ (Appendix E).
+    plan_budget:
+        Optional cap ``k`` on cached plans (section 6.3.1).
+    max_recost_candidates:
+        Recost-call cap per getPlan invocation (section 6.2 heuristic).
+    bound:
+        BCG bounding function, ``f(α)=α`` by default.
+    lambda_for:
+        Optional dynamic-λ schedule (Appendix D); overrides ``lam`` per
+        anchor according to its optimal cost.
+    detect_violations:
+        Enable the Appendix G violation detector.
+    """
+
+    def __init__(
+        self,
+        engine: EngineAPI,
+        lam: float = 2.0,
+        lambda_r: Optional[float] = None,
+        plan_budget: Optional[int] = None,
+        max_recost_candidates: int = 8,
+        bound: BoundingFunction = LINEAR_BOUND,
+        lambda_for: Optional[Callable[[float], float]] = None,
+        detect_violations: bool = True,
+        eviction_policy: EvictionPolicy = EvictionPolicy.LFU,
+        candidate_order: CandidateOrder = CandidateOrder.GL,
+        spatial_index: bool = False,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        super().__init__(engine)
+        self.lam = lam
+        self.trace = trace
+        self.cache = PlanCache()
+        if spatial_index:
+            from .spatial_index import IndexedGetPlan, InstanceGridIndex
+
+            index = InstanceGridIndex()
+            self.cache.on_instance_added.append(index.add)
+            self.cache.on_plan_dropped.append(index.remove_plan)
+            self.get_plan = IndexedGetPlan(
+                cache=self.cache,
+                lam=lam,
+                index=index,
+                max_recost_candidates=max_recost_candidates,
+                bound=bound,
+                lambda_for=lambda_for,
+                candidate_order=candidate_order,
+            )
+        else:
+            self.get_plan = GetPlan(
+                cache=self.cache,
+                lam=lam,
+                max_recost_candidates=max_recost_candidates,
+                bound=bound,
+                lambda_for=lambda_for,
+                candidate_order=candidate_order,
+            )
+        self.manage_cache = ManageCache(
+            cache=self.cache,
+            lam=lam,
+            lambda_r=lambda_r,
+            plan_budget=plan_budget,
+            eviction_policy=eviction_policy,
+        )
+        self.detector = ViolationDetector(bound=bound) if detect_violations else None
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"SCR{self.lam:g}"
+
+    def _choose(self, sv: SelectivityVector) -> PlanChoice:
+        decision = self.get_plan(sv, self.engine.recost)
+        if decision.hit:
+            if (
+                self.detector is not None
+                and decision.check is CheckKind.COST
+                and decision.anchor is not None
+            ):
+                self.detector.check(
+                    decision.anchor, decision.g, decision.l, decision.recost_ratio
+                )
+            plan = self.cache.plan(decision.plan_id)
+            if self.trace is not None:
+                self.trace.decision(
+                    self.instances_processed,
+                    decision.check.value,
+                    plan.signature,
+                    certified_bound=decision.inferred_suboptimality,
+                )
+            return PlanChoice(
+                shrunken_memo=plan.shrunken_memo,
+                plan_signature=plan.signature,
+                used_optimizer=False,
+                check=decision.check.value,
+                recost_calls=decision.recost_calls,
+                plan=plan.plan,
+            )
+
+        result = self._optimize(sv)
+        recosts_before = self.manage_cache.stats.redundancy_recost_calls
+        entry = self.manage_cache.register(sv, result, self.engine.recost)
+        redundancy_recosts = (
+            self.manage_cache.stats.redundancy_recost_calls - recosts_before
+        )
+        chosen = self.cache.plan(entry.plan_id)
+        if self.trace is not None:
+            self.trace.decision(
+                self.instances_processed, "optimizer", chosen.signature
+            )
+        return PlanChoice(
+            shrunken_memo=chosen.shrunken_memo,
+            plan_signature=chosen.signature,
+            used_optimizer=True,
+            check="optimizer",
+            recost_calls=decision.recost_calls + redundancy_recosts,
+            optimal_cost=result.cost,
+            plan=chosen.plan,
+        )
+
+    @property
+    def plans_cached(self) -> int:
+        return self.cache.num_plans
+
+    @property
+    def max_plans_cached(self) -> int:
+        return self.cache.max_plans_seen
+
+    def purge_redundant_plans(self) -> int:
+        """Appendix F maintenance: drop existing plans made redundant."""
+        return self.manage_cache.purge_redundant_existing_plans(self.engine.recost)

@@ -1,0 +1,178 @@
+"""Grid index over the instance list in log-selectivity space (§6.2).
+
+Section 6.2 notes that once the instance list grows to several thousand
+entries, even the selectivity check's scan becomes comparable to the
+sVector computation, and suggests a spatial index that can supply
+low-G·L anchors without scanning the whole list.
+
+Since ``ln(G·L) = Σ_i |ln s_i(q_c) − ln s_i(q_e)|`` is the L1 distance
+in log-selectivity space, a uniform grid over that space answers
+"anchors with G·L ≤ λ" queries by visiting only cells within an L∞
+radius of ``ln λ`` — sound because the L1 ball is contained in the L∞
+box of the same radius.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from ..optimizer.recost import ShrunkenMemo
+from ..query.instance import SelectivityVector
+from .bounds import compute_gl
+from .get_plan import CheckKind, GetPlan, GetPlanDecision
+from .plan_cache import InstanceEntry
+
+
+def _cell_of(sv: SelectivityVector, width: float) -> tuple[int, ...]:
+    return tuple(int(math.floor(math.log(s) / width)) for s in sv)
+
+
+@dataclass
+class InstanceGridIndex:
+    """Uniform grid over log-selectivity space holding instance entries.
+
+    ``cell_log_width`` is the cell edge in natural-log units; 0.5 means
+    each cell spans a multiplicative selectivity factor of e^0.5 ≈ 1.65
+    per dimension — about the reach of a λ = 2 region, so membership
+    queries touch only the immediate cell neighborhood.
+    """
+
+    cell_log_width: float = 0.5
+    _cells: dict[tuple[int, ...], list[InstanceEntry]] = field(
+        default_factory=dict
+    )
+    _count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cell_log_width <= 0:
+            raise ValueError("cell_log_width must be positive")
+
+    def add(self, entry: InstanceEntry) -> None:
+        cell = _cell_of(entry.sv, self.cell_log_width)
+        self._cells.setdefault(cell, []).append(entry)
+        self._count += 1
+
+    def remove_plan(self, plan_id: int) -> int:
+        """Drop every entry pointing at ``plan_id`` (plan eviction)."""
+        removed = 0
+        for cell, entries in list(self._cells.items()):
+            kept = [e for e in entries if e.plan_id != plan_id]
+            removed += len(entries) - len(kept)
+            if kept:
+                self._cells[cell] = kept
+            else:
+                del self._cells[cell]
+        self._count -= removed
+        return removed
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def occupied_cells(self) -> int:
+        return len(self._cells)
+
+    def near(
+        self, sv: SelectivityVector, log_radius: float
+    ) -> Iterator[InstanceEntry]:
+        """Entries whose cell lies within L∞ ``log_radius`` of ``sv``.
+
+        A superset of all entries with ``ln(G·L) ≤ log_radius``
+        (soundness: L1 ≤ radius implies L∞ ≤ radius, and the cell
+        quantization error adds at most one cell width, accounted for
+        in the ring bound).
+        """
+        center = _cell_of(sv, self.cell_log_width)
+        ring = int(math.ceil(log_radius / self.cell_log_width)) + 1
+        # Iterate occupied cells (not the exponential cell box): for the
+        # instance-list sizes §6.2 worries about, occupied cells are few
+        # relative to the full grid, and distance checks are cheap.
+        for cell, entries in self._cells.items():
+            if len(cell) != len(center):
+                continue
+            if all(abs(a - b) <= ring for a, b in zip(cell, center)):
+                yield from entries
+
+    def all_entries(self) -> Iterator[InstanceEntry]:
+        for entries in self._cells.values():
+            yield from entries
+
+
+class IndexedGetPlan(GetPlan):
+    """getPlan backed by the grid index.
+
+    The selectivity check visits only near cells; the cost check draws
+    its capped candidate set from an expanding neighborhood instead of
+    a global G·L sort.  The λ-optimality guarantee is unaffected — both
+    checks remain exactly as conservative — the index only changes
+    *which* anchors are examined, trading a little reuse coverage for
+    sub-linear scan cost on large instance lists.
+    """
+
+    def __init__(
+        self,
+        cache,
+        lam: float,
+        index: Optional[InstanceGridIndex] = None,
+        cost_check_log_radius: float = 3.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(cache=cache, lam=lam, **kwargs)
+        # ``index or ...`` would misfire here: an empty grid has
+        # len() == 0 and is falsy.
+        self.index = index if index is not None else InstanceGridIndex()
+        self.cost_check_log_radius = cost_check_log_radius
+
+    def __call__(
+        self,
+        sv: SelectivityVector,
+        recost: Callable[[ShrunkenMemo, SelectivityVector], float],
+    ) -> GetPlanDecision:
+        lam_max = self.lam if self.lambda_for is None else None
+        # ---- selectivity check over the near neighborhood only.
+        sel_radius = math.log(lam_max) if lam_max else self.cost_check_log_radius
+        candidates: list[tuple[float, float, float, InstanceEntry]] = []
+        for entry in self.index.near(sv, self.cost_check_log_radius):
+            self.entries_scanned += 1
+            g, l = compute_gl(entry.sv, sv)
+            budget = self._effective_lambda(entry) / entry.suboptimality
+            if (
+                math.log(g * l) <= sel_radius + 1e-12
+                and self.bound.selectivity_bound(g, l) <= budget
+            ):
+                entry.usage += 1
+                self.cache.touch(entry.plan_id)
+                self.selectivity_hits += 1
+                return GetPlanDecision(
+                    plan_id=entry.plan_id, check=CheckKind.SELECTIVITY,
+                    anchor=entry, g=g, l=l,
+                )
+            if not entry.retired:
+                candidates.append((g * l, g, l, entry))
+
+        # ---- cost check over the neighborhood candidates, G·L order.
+        candidates.sort(key=lambda item: item[0])
+        recost_calls = 0
+        for _, g, l, entry in candidates[: self.max_recost_candidates]:
+            plan = self.cache.plan(entry.plan_id)
+            new_cost = recost(plan.shrunken_memo, sv)
+            recost_calls += 1
+            r = new_cost / entry.optimal_cost
+            budget = self._effective_lambda(entry) / entry.suboptimality
+            if self.bound.cost_bound(r, l) <= budget:
+                entry.usage += 1
+                self.cache.touch(entry.plan_id)
+                self.cost_hits += 1
+                self._note_recosts(recost_calls)
+                return GetPlanDecision(
+                    plan_id=entry.plan_id, check=CheckKind.COST, anchor=entry,
+                    recost_calls=recost_calls, recost_ratio=r, g=g, l=l,
+                )
+
+        self.misses += 1
+        self._note_recosts(recost_calls)
+        return GetPlanDecision(
+            plan_id=None, check=CheckKind.OPTIMIZER, recost_calls=recost_calls
+        )

@@ -1,0 +1,71 @@
+"""The online PQO technique interface (problem setting of section 2).
+
+An online technique processes a workload sequence one instance at a
+time; for each instance it must produce a plan — either one it has
+cached or the result of a fresh optimizer call — through exactly the
+engine APIs of section 4.2.  SCR and every baseline implement this
+interface, so the harness measures them identically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from ..engine.api import EngineAPI
+from ..optimizer.plans import PhysicalPlan
+from ..optimizer.recost import ShrunkenMemo
+from ..query.instance import QueryInstance, SelectivityVector
+
+
+@dataclass
+class PlanChoice:
+    """What a technique decided for one query instance."""
+
+    shrunken_memo: ShrunkenMemo
+    plan_signature: str
+    used_optimizer: bool
+    check: str = ""            # technique-specific label ("selectivity", ...)
+    recost_calls: int = 0
+    optimal_cost: Optional[float] = None  # known only if we optimized
+    plan: Optional[PhysicalPlan] = None   # executable plan tree
+
+
+class OnlinePQOTechnique(ABC):
+    """Base class for online PQO techniques."""
+
+    #: human-readable name used in reports, overridden by subclasses.
+    name: str = "abstract"
+
+    def __init__(self, engine: EngineAPI) -> None:
+        self.engine = engine
+        self.instances_processed = 0
+        self.optimizer_calls = 0
+
+    def process(self, instance: QueryInstance) -> PlanChoice:
+        """Handle one arriving query instance."""
+        sv = self.engine.selectivity_vector(instance)
+        choice = self._choose(sv)
+        self.instances_processed += 1
+        if choice.used_optimizer:
+            self.optimizer_calls += 1
+        return choice
+
+    @abstractmethod
+    def _choose(self, sv: SelectivityVector) -> PlanChoice:
+        """Pick a plan for the instance with selectivity vector ``sv``."""
+
+    @property
+    @abstractmethod
+    def plans_cached(self) -> int:
+        """Number of plans currently stored."""
+
+    @property
+    def max_plans_cached(self) -> int:
+        """Peak number of plans stored (defaults to the current count)."""
+        return self.plans_cached
+
+    def _optimize(self, sv: SelectivityVector):
+        """Make a (counted) optimizer call through the engine."""
+        return self.engine.optimize(sv)

@@ -1,0 +1,15 @@
+"""Engine façade: Database + the three engine APIs with accounting."""
+
+from .api import ApiAccounting, EngineAPI, EngineCounters
+from .database import Database
+from .tracing import TraceEvent, TraceEventKind, TraceLog
+
+__all__ = [
+    "ApiAccounting",
+    "Database",
+    "EngineAPI",
+    "EngineCounters",
+    "TraceEvent",
+    "TraceEventKind",
+    "TraceLog",
+]

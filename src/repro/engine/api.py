@@ -1,0 +1,115 @@
+"""The three engine APIs online PQO needs, with call accounting.
+
+Section 4.2 of the paper lists the database-engine requirements:
+a traditional optimizer call, a *compute selectivity vector* call, and
+a *recost plan* call.  :class:`EngineAPI` wraps them for one query
+template and records call counts and wall-clock time per API, which is
+what the optimization-overhead metrics and the recost-speedup benchmark
+report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from typing import Optional
+
+from ..optimizer.optimizer import OptimizationResult, QueryOptimizer
+from ..optimizer.recost import ShrunkenMemo
+from ..query.instance import QueryInstance, SelectivityVector
+from ..query.template import QueryTemplate
+from ..selectivity.estimator import SelectivityEstimator
+from .tracing import TraceEventKind, TraceLog
+
+
+@dataclass
+class ApiAccounting:
+    """Counters and timers for one engine API."""
+
+    calls: int = 0
+    total_seconds: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.calls += 1
+        self.total_seconds += seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+
+@dataclass
+class EngineCounters:
+    """Accounting for the three APIs of one :class:`EngineAPI`."""
+
+    optimize: ApiAccounting = field(default_factory=ApiAccounting)
+    recost: ApiAccounting = field(default_factory=ApiAccounting)
+    selectivity: ApiAccounting = field(default_factory=ApiAccounting)
+
+    def reset(self) -> None:
+        self.optimize = ApiAccounting()
+        self.recost = ApiAccounting()
+        self.selectivity = ApiAccounting()
+
+    @property
+    def recost_speedup(self) -> float:
+        """Mean optimizer-call time divided by mean recost time."""
+        if self.recost.calls == 0 or self.recost.mean_seconds == 0.0:
+            return float("inf") if self.optimize.calls else 0.0
+        return self.optimize.mean_seconds / self.recost.mean_seconds
+
+
+class EngineAPI:
+    """Engine façade for one query template.
+
+    All online PQO techniques (SCR and the baselines) interact with the
+    database engine exclusively through this object, so their optimizer
+    overheads are measured identically.
+    """
+
+    def __init__(
+        self,
+        template: QueryTemplate,
+        optimizer: QueryOptimizer,
+        estimator: SelectivityEstimator,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.template = template
+        self.optimizer = optimizer
+        self.estimator = estimator
+        self.counters = EngineCounters()
+        self.trace = trace
+
+    def selectivity_vector(self, instance: QueryInstance) -> SelectivityVector:
+        """Compute the instance's sVector (cheap; always on the hot path)."""
+        start = time.perf_counter()
+        sv = self.estimator.selectivity_vector(self.template, instance)
+        self.counters.selectivity.record(time.perf_counter() - start)
+        return sv
+
+    def optimize(self, sv: SelectivityVector) -> OptimizationResult:
+        """Full optimizer call (the expensive operation PQO avoids)."""
+        start = time.perf_counter()
+        result = self.optimizer.optimize(sv)
+        elapsed = time.perf_counter() - start
+        self.counters.optimize.record(elapsed)
+        if self.trace is not None:
+            self.trace.api_call(
+                TraceEventKind.OPTIMIZE, -1, elapsed,
+                detail=result.plan.signature()[:80],
+            )
+        return result
+
+    def recost(self, shrunken: ShrunkenMemo, sv: SelectivityVector) -> float:
+        """Recost call: cost of a stored plan at a new instance."""
+        start = time.perf_counter()
+        cost = self.optimizer.recost(shrunken, sv)
+        elapsed = time.perf_counter() - start
+        self.counters.recost.record(elapsed)
+        if self.trace is not None:
+            self.trace.api_call(TraceEventKind.RECOST, -1, elapsed)
+        return cost
+
+    def reset_counters(self) -> None:
+        self.counters.reset()

@@ -1,0 +1,72 @@
+"""Database façade: schema + data + statistics + per-template engines.
+
+A :class:`Database` bundles everything the paper's SQL Server instance
+provided: the catalog, generated data, derived statistics, and a
+factory for per-template :class:`~repro.engine.api.EngineAPI` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..catalog.datagen import DatabaseData, generate_database
+from ..catalog.schema import Schema
+from ..catalog.statistics import DatabaseStatistics, build_statistics
+from ..optimizer.cost_model import CostModel
+from ..optimizer.optimizer import QueryOptimizer
+from ..query.template import QueryTemplate
+from ..selectivity.estimator import SelectivityEstimator
+from .api import EngineAPI
+
+
+@dataclass
+class Database:
+    """One logical database: catalog, data, statistics, engines."""
+
+    schema: Schema
+    data: DatabaseData
+    stats: DatabaseStatistics
+    estimator: SelectivityEstimator
+    cost_model: CostModel = field(default_factory=CostModel)
+    _engines: dict[str, EngineAPI] = field(default_factory=dict)
+
+    @classmethod
+    def create(
+        cls,
+        schema: Schema,
+        seed: int = 0,
+        histogram_buckets: int = 64,
+        cost_model: Optional[CostModel] = None,
+    ) -> "Database":
+        """Generate data, build statistics and wrap them in a Database."""
+        data = generate_database(schema, seed=seed)
+        stats = build_statistics(schema, data, buckets=histogram_buckets)
+        estimator = SelectivityEstimator(stats)
+        return cls(
+            schema=schema,
+            data=data,
+            stats=stats,
+            estimator=estimator,
+            cost_model=cost_model or CostModel(),
+        )
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def engine(self, template: QueryTemplate) -> EngineAPI:
+        """Engine API for a template (cached per template name)."""
+        if template.database != self.schema.name:
+            raise ValueError(
+                f"template {template.name} targets database "
+                f"{template.database!r}, not {self.schema.name!r}"
+            )
+        api = self._engines.get(template.name)
+        if api is None:
+            optimizer = QueryOptimizer(
+                template, self.stats, self.estimator, self.cost_model
+            )
+            api = EngineAPI(template, optimizer, self.estimator)
+            self._engines[template.name] = api
+        return api

@@ -1,0 +1,96 @@
+"""Decision and API-call tracing for debugging and analysis.
+
+A :class:`TraceLog` records one event per engine API call or technique
+decision, with enough detail to replay or audit a run: which check
+fired, which anchor was used, what bound was certified.  The examples
+use it to narrate SCR's behaviour; tests use it to assert decision
+sequences precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Optional
+
+
+class TraceEventKind(Enum):
+    """Kinds of traced events."""
+
+    SELECTIVITY_VECTOR = "svector"
+    OPTIMIZE = "optimize"
+    RECOST = "recost"
+    DECISION = "decision"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced event."""
+
+    kind: TraceEventKind
+    sequence_id: int
+    detail: str = ""
+    seconds: float = 0.0
+    check: str = ""
+    plan_signature: str = ""
+    certified_bound: Optional[float] = None
+
+
+@dataclass
+class TraceLog:
+    """An append-only in-memory trace with simple query helpers."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, event: TraceEvent) -> None:
+        if self.enabled:
+            self.events.append(event)
+
+    def decision(
+        self,
+        sequence_id: int,
+        check: str,
+        plan_signature: str,
+        certified_bound: Optional[float] = None,
+    ) -> None:
+        self.record(TraceEvent(
+            kind=TraceEventKind.DECISION,
+            sequence_id=sequence_id,
+            check=check,
+            plan_signature=plan_signature,
+            certified_bound=certified_bound,
+        ))
+
+    def api_call(
+        self, kind: TraceEventKind, sequence_id: int, seconds: float,
+        detail: str = "",
+    ) -> None:
+        self.record(TraceEvent(
+            kind=kind, sequence_id=sequence_id, seconds=seconds, detail=detail
+        ))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: TraceEventKind) -> Iterator[TraceEvent]:
+        return (e for e in self.events if e.kind is kind)
+
+    def decisions(self) -> list[TraceEvent]:
+        return list(self.of_kind(TraceEventKind.DECISION))
+
+    def check_counts(self) -> dict[str, int]:
+        """Histogram of decision checks ('selectivity', 'cost', ...)."""
+        counts: dict[str, int] = {}
+        for event in self.of_kind(TraceEventKind.DECISION):
+            counts[event.check] = counts.get(event.check, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        """One-paragraph human-readable trace summary."""
+        counts = self.check_counts()
+        total = sum(counts.values())
+        parts = [f"{total} decisions"]
+        for check, count in sorted(counts.items()):
+            parts.append(f"{check}: {count}")
+        return ", ".join(parts)

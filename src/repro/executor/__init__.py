@@ -1,0 +1,5 @@
+"""Columnar plan execution (the H.7 execution-time experiment substrate)."""
+
+from .engine import ExecutionResult, Intermediate, PlanExecutor, reference_row_count
+
+__all__ = ["ExecutionResult", "Intermediate", "PlanExecutor", "reference_row_count"]

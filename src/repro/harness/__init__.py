@@ -1,0 +1,28 @@
+"""Evaluation harness: metrics, oracle, runner, per-figure experiments."""
+
+from .experiments import ExperimentConfig, Experiments, standard_factories
+from .figures import bar_chart, line_chart, rows_to_series
+from .metrics import InstanceRecord, MetricAggregate, SequenceResult
+from .oracle import Oracle, OraclePoint
+from .reporting import format_series, format_table, percent
+from .runner import SequenceSpec, WorkloadRunner, run_sequence
+
+__all__ = [
+    "ExperimentConfig",
+    "Experiments",
+    "InstanceRecord",
+    "MetricAggregate",
+    "Oracle",
+    "OraclePoint",
+    "SequenceResult",
+    "SequenceSpec",
+    "WorkloadRunner",
+    "bar_chart",
+    "format_series",
+    "format_table",
+    "line_chart",
+    "percent",
+    "rows_to_series",
+    "run_sequence",
+    "standard_factories",
+]

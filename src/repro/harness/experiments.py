@@ -1,0 +1,426 @@
+"""Per-figure experiment definitions (evaluation section of the paper).
+
+Each experiment regenerates the data behind one table or figure:
+workload, parameter sweep, techniques, and the same rows/series the
+paper reports.  Benchmarks under ``benchmarks/`` invoke these with
+scaled-down configurations; ``examples/full_evaluation.py`` runs them
+at larger scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines import PCM, Density, Ellipse, OptimizeAlways, OptimizeOnce, Ranges
+from ..core.dynamic_lambda import DynamicLambda
+from ..core.scr import SCR
+from ..engine.api import EngineAPI
+from ..core.technique import OnlinePQOTechnique
+from ..query.template import QueryTemplate
+from ..workload.orderings import ALL_ORDERINGS, Ordering
+from ..workload.suite import SuiteConfig
+from ..workload.templates import dimension_sweep_template
+from .metrics import MetricAggregate, SequenceResult
+from .runner import SequenceSpec, WorkloadRunner
+
+TechniqueFactory = Callable[[EngineAPI], OnlinePQOTechnique]
+
+
+def standard_factories(lam: float = 2.0) -> dict[str, TechniqueFactory]:
+    """The paper's Table 2 technique line-up."""
+    return {
+        "OptOnce": OptimizeOnce,
+        f"PCM{lam:g}": lambda e: PCM(e, lam=lam),
+        "Ellipse": lambda e: Ellipse(e, delta=0.90),
+        "Density": lambda e: Density(e, radius=0.1, confidence=0.5),
+        "Ranges": lambda e: Ranges(e, slack=0.01),
+        f"SCR{lam:g}": lambda e: SCR(e, lam=lam),
+    }
+
+
+@dataclass
+class ExperimentConfig:
+    """Scale knobs shared by all experiments."""
+
+    suite: SuiteConfig = field(default_factory=SuiteConfig)
+    db_scale: float = 0.5
+    orderings: Sequence[Ordering] = field(
+        default_factory=lambda: list(ALL_ORDERINGS)
+    )
+    lam: float = 2.0
+
+    @classmethod
+    def smoke(cls) -> "ExperimentConfig":
+        return cls(
+            suite=SuiteConfig.smoke(),
+            db_scale=0.3,
+            orderings=[Ordering.RANDOM, Ordering.DECREASING_COST],
+        )
+
+
+class Experiments:
+    """Runs and caches the per-figure experiments."""
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config or ExperimentConfig()
+        self.runner = WorkloadRunner(db_scale=self.config.db_scale)
+        self._suite_cache: dict[str, list[SequenceResult]] = {}
+
+    # -- shared suite driver -------------------------------------------------
+
+    def suite_results(
+        self,
+        factories: dict[str, TechniqueFactory] | None = None,
+        orderings: Sequence[Ordering] | None = None,
+        lam: float | None = None,
+    ) -> dict[str, list[SequenceResult]]:
+        """Run each technique over every (template, ordering) sequence."""
+        factories = factories or standard_factories(self.config.lam)
+        orderings = list(orderings or self.config.orderings)
+        out: dict[str, list[SequenceResult]] = {}
+        templates = self.config.suite.templates()
+        for name, factory in factories.items():
+            key = f"{name}|{','.join(o.value for o in orderings)}"
+            if key in self._suite_cache:
+                out[name] = self._suite_cache[key]
+                continue
+            results: list[SequenceResult] = []
+            for template in templates:
+                m = self.config.suite.sequence_length(template)
+                for ordering in orderings:
+                    spec = SequenceSpec(
+                        template=template,
+                        m=m,
+                        ordering=ordering,
+                        seed=self.config.suite.seed,
+                    )
+                    results.append(self.runner.run(spec, factory, lam=lam))
+            self._suite_cache[key] = results
+            out[name] = results
+        return out
+
+    # -- Figures 6 & 7: MSO / TotalCostRatio distributions ---------------------
+
+    def suboptimality_distributions(
+        self, technique_names: Sequence[str] | None = None
+    ) -> dict[str, dict[str, list[float]]]:
+        """Per-technique (MSO, TC) pairs sorted by TC (Figures 6-7)."""
+        names = list(
+            technique_names
+            or ["OptOnce", "Ellipse", f"PCM{self.config.lam:g}",
+                f"SCR{self.config.lam:g}"]
+        )
+        all_results = self.suite_results()
+        out: dict[str, dict[str, list[float]]] = {}
+        for name in names:
+            results = all_results[name]
+            pairs = sorted(
+                ((r.total_cost_ratio, r.mso) for r in results), key=lambda p: p[0]
+            )
+            out[name] = {
+                "total_cost_ratio": [p[0] for p in pairs],
+                "mso": [p[1] for p in pairs],
+            }
+        return out
+
+    # -- Figures 8, 10, 14: λ sweeps -------------------------------------------
+
+    def lambda_sweep(
+        self, lambdas: Sequence[float] = (1.1, 1.2, 1.5, 2.0)
+    ) -> list[dict[str, float]]:
+        """SCR metrics as λ varies (Figures 8, 10 and 14)."""
+        rows = []
+        for lam in lambdas:
+            results = self.suite_results(
+                {f"SCR{lam:g}": lambda e, lam=lam: SCR(e, lam=lam)}, lam=lam
+            )[f"SCR{lam:g}"]
+            tc = MetricAggregate.over(results, "total_cost_ratio")
+            opt = MetricAggregate.over(results, "num_opt_percent")
+            plans = MetricAggregate.over(results, "num_plans")
+            rows.append({
+                "lambda": lam,
+                "tc_mean": tc.mean,
+                "tc_p95": tc.p95,
+                "numopt_mean": opt.mean,
+                "numopt_p95": opt.p95,
+                "numplans_mean": plans.mean,
+                "numplans_p95": plans.p95,
+            })
+        return rows
+
+    # -- Figures 9, 13, 16, 17: per-technique aggregates ------------------------
+
+    def technique_aggregates(
+        self, factories: dict[str, TechniqueFactory] | None = None
+    ) -> list[dict[str, float | str]]:
+        """Mean/p95 of all four metrics per technique."""
+        all_results = self.suite_results(factories)
+        rows: list[dict[str, float | str]] = []
+        for name, results in all_results.items():
+            rows.append({
+                "technique": name,
+                "mso_mean": MetricAggregate.over(results, "mso").mean,
+                "mso_p95": MetricAggregate.over(results, "mso").p95,
+                "tc_mean": MetricAggregate.over(results, "total_cost_ratio").mean,
+                "tc_p95": MetricAggregate.over(results, "total_cost_ratio").p95,
+                "numopt_mean": MetricAggregate.over(results, "num_opt_percent").mean,
+                "numopt_p95": MetricAggregate.over(results, "num_opt_percent").p95,
+                "numplans_mean": MetricAggregate.over(results, "num_plans").mean,
+                "numplans_p95": MetricAggregate.over(results, "num_plans").p95,
+            })
+        return rows
+
+    # -- Figure 11 / 18: numOpt % vs workload length -----------------------------
+
+    def numopt_vs_m(
+        self,
+        template: QueryTemplate,
+        lengths: Sequence[int] = (250, 500, 1000, 2000),
+        factories: dict[str, TechniqueFactory] | None = None,
+    ) -> list[dict[str, float | str]]:
+        """Running numOpt %% over growing workloads (one template)."""
+        factories = factories or {
+            "SCR1.1": lambda e: SCR(e, lam=1.1),
+            "SCR2": lambda e: SCR(e, lam=2.0),
+            "PCM2": lambda e: PCM(e, lam=2.0),
+            "Ellipse": lambda e: Ellipse(e, delta=0.90),
+        }
+        m = max(lengths)
+        spec = SequenceSpec(
+            template=template, m=m, ordering=Ordering.RANDOM,
+            seed=self.config.suite.seed,
+        )
+        rows: list[dict[str, float | str]] = []
+        for name, factory in factories.items():
+            result = self.runner.run(spec, factory)
+            running = result.running_num_opt_percent(lengths)
+            for length, value in zip(lengths, running):
+                rows.append({"technique": name, "m": length, "numopt_pct": value})
+        return rows
+
+    # -- Figure 12: numOpt % vs dimensions ----------------------------------------
+
+    def numopt_vs_dimensions(
+        self,
+        dims: Sequence[int] = (2, 4, 6, 8, 10),
+        m: int | None = None,
+    ) -> list[dict[str, float | str]]:
+        """SCR2 vs PCM2 as d grows (rd2 sweep templates)."""
+        m = m or self.config.suite.instances_high_d
+        rows: list[dict[str, float | str]] = []
+        for d in dims:
+            template = dimension_sweep_template(d)
+            spec = SequenceSpec(
+                template=template, m=m, ordering=Ordering.RANDOM,
+                seed=self.config.suite.seed,
+            )
+            for name, factory in (
+                ("SCR2", lambda e: SCR(e, lam=2.0)),
+                ("PCM2", lambda e: PCM(e, lam=2.0)),
+            ):
+                result = self.runner.run(spec, factory)
+                rows.append({
+                    "technique": name,
+                    "d": d,
+                    "numopt_pct": result.num_opt_percent,
+                    "numplans": result.num_plans,
+                })
+        return rows
+
+    # -- Figure 15: sequences that Optimize-Once already handles -------------------
+
+    def easy_sequence_comparison(self) -> list[dict[str, float | str]]:
+        """Restrict to sequences where OptOnce has MSO < 2 (Figure 15)."""
+        all_results = self.suite_results()
+        once = all_results["OptOnce"]
+        easy_keys = {
+            (r.template, r.ordering) for r in once if r.mso < 2.0
+        }
+        rows: list[dict[str, float | str]] = []
+        for name, results in all_results.items():
+            subset = [r for r in results if (r.template, r.ordering) in easy_keys]
+            if not subset:
+                continue
+            rows.append({
+                "technique": name,
+                "sequences": len(subset),
+                "numplans_mean": MetricAggregate.over(subset, "num_plans").mean,
+                "numopt_mean": MetricAggregate.over(subset, "num_opt_percent").mean,
+            })
+        return rows
+
+    # -- Figure 19: plan budget k ------------------------------------------------
+
+    def plan_budget_sweep(
+        self, budgets: Sequence[int | None] = (None, 10, 5, 2)
+    ) -> list[dict[str, float | str]]:
+        """numOpt as a hard plan budget is enforced (section 6.3.1)."""
+        rows: list[dict[str, float | str]] = []
+        for k in budgets:
+            label = "unbounded" if k is None else str(k)
+            factories = {
+                f"SCR2/k={label}": lambda e, k=k: SCR(e, lam=2.0, plan_budget=k)
+            }
+            results = self.suite_results(factories)[f"SCR2/k={label}"]
+            rows.append({
+                "k": label,
+                "numopt_mean": MetricAggregate.over(
+                    results, "num_opt_percent").mean,
+                "numopt_p95": MetricAggregate.over(results, "num_opt_percent").p95,
+                "numplans_mean": MetricAggregate.over(results, "num_plans").mean,
+                "tc_mean": MetricAggregate.over(results, "total_cost_ratio").mean,
+            })
+        return rows
+
+    # -- Figure 20: random orderings only --------------------------------------------
+
+    def random_ordering_overheads(self) -> list[dict[str, float | str]]:
+        results = self.suite_results(orderings=[Ordering.RANDOM])
+        rows: list[dict[str, float | str]] = []
+        for name, res in results.items():
+            rows.append({
+                "technique": name,
+                "numopt_mean": MetricAggregate.over(res, "num_opt_percent").mean,
+                "numopt_p95": MetricAggregate.over(res, "num_opt_percent").p95,
+            })
+        return rows
+
+    # -- Figure 21: Recost-augmented baselines ------------------------------------------
+
+    def recost_augmented_baselines(self) -> list[dict[str, float | str]]:
+        """Appendix H.6: heuristics + SCR-style redundancy check."""
+        lam = self.config.lam
+        lam_r = np.sqrt(lam)
+        factories: dict[str, TechniqueFactory] = {
+            "Ellipse": lambda e: Ellipse(e, delta=0.90),
+            "Ellipse+R": lambda e: Ellipse(e, delta=0.90, lambda_r=lam_r),
+            "Density": lambda e: Density(e),
+            "Density+R": lambda e: Density(e, lambda_r=lam_r),
+            "Ranges": lambda e: Ranges(e, slack=0.01),
+            "Ranges+R": lambda e: Ranges(e, slack=0.01, lambda_r=lam_r),
+            f"SCR{lam:g}": lambda e: SCR(e, lam=lam),
+        }
+        rows: list[dict[str, float | str]] = []
+        for name, results in self.suite_results(factories).items():
+            rows.append({
+                "technique": name,
+                "mso_mean": MetricAggregate.over(results, "mso").mean,
+                "tc_mean": MetricAggregate.over(results, "total_cost_ratio").mean,
+                "numopt_mean": MetricAggregate.over(results, "num_opt_percent").mean,
+                "numplans_mean": MetricAggregate.over(results, "num_plans").mean,
+            })
+        return rows
+
+    # -- Appendix D: dynamic λ -------------------------------------------------------
+
+    def dynamic_lambda_experiment(
+        self,
+        template: QueryTemplate,
+        m: int = 1000,
+        lambda_min: float = 1.1,
+        lambda_max: float = 10.0,
+    ) -> list[dict[str, float | str]]:
+        """Static λ_min vs the dynamic [λ_min, λ_max] schedule."""
+        spec = SequenceSpec(
+            template=template, m=m, ordering=Ordering.RANDOM,
+            seed=self.config.suite.seed,
+        )
+        static = self.runner.run(
+            spec, lambda e: SCR(e, lam=lambda_min), lam=lambda_min
+        )
+        oracle = self.runner.oracle(template)
+        costs, _ = oracle.annotate(self.runner.base_instances(
+            template, m, self.config.suite.seed))
+        schedule = DynamicLambda(
+            lambda_min=lambda_min,
+            lambda_max=lambda_max,
+            cost_scale=float(np.median(costs)),
+        )
+        dynamic = self.runner.run(
+            spec,
+            lambda e: SCR(e, lam=lambda_max, lambda_for=schedule),
+            lam=lambda_max,
+        )
+        rows = []
+        for label, res in (("static", static), ("dynamic", dynamic)):
+            rows.append({
+                "mode": label,
+                "numplans": res.num_plans,
+                "numopt": res.num_opt,
+                "tc": res.total_cost_ratio,
+            })
+        return rows
+
+    # -- Appendix E: λ_r sweep ---------------------------------------------------------
+
+    def lambda_r_sweep(
+        self,
+        template: QueryTemplate,
+        m: int = 2000,
+        lam: float = 1.1,
+        lambda_rs: Sequence[float | None] = (1.0, 1.01, None, 1.5),
+    ) -> list[dict[str, float | str]]:
+        """Redundancy-threshold ablation (``None`` means √λ)."""
+        spec = SequenceSpec(
+            template=template, m=m, ordering=Ordering.RANDOM,
+            seed=self.config.suite.seed,
+        )
+        rows = []
+        for lam_r in lambda_rs:
+            label = "sqrt" if lam_r is None else f"{lam_r:g}"
+            result = self.runner.run(
+                spec, lambda e: SCR(e, lam=lam, lambda_r=lam_r), lam=lam
+            )
+            rows.append({
+                "lambda_r": label,
+                "numplans": result.num_plans,
+                "numopt": result.num_opt,
+                "tc": result.total_cost_ratio,
+                "recost_calls": result.total_recost_calls,
+            })
+        return rows
+
+    # -- Section 7.3: getPlan overhead anatomy ---------------------------------------------
+
+    def getplan_overheads(
+        self,
+        template: QueryTemplate,
+        m: int = 2000,
+        lam: float = 1.1,
+    ) -> list[dict[str, float | str]]:
+        """Effect of GL-pruning and λ_r on recost calls and plans."""
+        spec = SequenceSpec(
+            template=template, m=m, ordering=Ordering.RANDOM,
+            seed=self.config.suite.seed,
+        )
+        configs: list[tuple[str, TechniqueFactory]] = [
+            ("naive (no prune, keep all)",
+             lambda e: SCR(e, lam=lam, lambda_r=1.0,
+                           max_recost_candidates=10**6)),
+            ("GL-pruned, keep all",
+             lambda e: SCR(e, lam=lam, lambda_r=1.0)),
+            ("GL-pruned, lambda_r=sqrt",
+             lambda e: SCR(e, lam=lam)),
+        ]
+        rows = []
+        for label, factory in configs:
+            captured: list[SCR] = []
+
+            def wrap(e, factory=factory):
+                tech = factory(e)
+                captured.append(tech)
+                return tech
+
+            result = self.runner.run(spec, wrap, lam=lam)
+            tech = captured[0]
+            rows.append({
+                "config": label,
+                "numplans": result.num_plans,
+                "max_recosts_per_getplan": tech.get_plan.max_recost_calls_single,
+                "total_recosts": tech.get_plan.total_recost_calls,
+                "tc": result.total_cost_ratio,
+            })
+        return rows

@@ -1,0 +1,110 @@
+"""ASCII chart rendering for experiment outputs.
+
+The paper's figures are scatter/line/bar plots; this module renders the
+same series as terminal charts so `examples/full_evaluation.py` and the
+benchmarks can show the *shape* of each figure without a plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str | None = None,
+    width: int = 48,
+    value_format: str = "{:.1f}",
+    log_scale: bool = False,
+) -> str:
+    """Horizontal bar chart, one row per labelled value."""
+    if not values:
+        return f"{title}\n(no data)" if title else "(no data)"
+    items = list(values.items())
+    raw = [max(0.0, float(v)) for _, v in items]
+    scaled = [math.log10(1 + v) for v in raw] if log_scale else raw
+    peak = max(scaled) or 1.0
+    label_width = max(len(k) for k, _ in items)
+    lines = [title] if title else []
+    if log_scale:
+        lines.append(f"(bar lengths log-scaled)")
+    for (label, value), s in zip(items, scaled):
+        bar = "#" * max(1 if value > 0 else 0, round(width * s / peak))
+        lines.append(
+            f"{label.rjust(label_width)} | {bar} {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str | None = None,
+    width: int = 56,
+    height: int = 14,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    Each series gets a distinct glyph; points are plotted on a
+    ``height`` x ``width`` grid spanning the data's bounding box.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)" if title else "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = "*o+x@%&="
+    legend = []
+    for idx, (name, pts) in enumerate(series.items()):
+        glyph = glyphs[idx % len(glyphs)]
+        legend.append(f"{glyph} {name}")
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = glyph
+
+    lines = [title] if title else []
+    lines.append(f"{y_hi:>10.2f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:>10.2f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:g}".ljust(width - 8) + f"{x_hi:g}".rjust(8)
+    )
+    footer = "  ".join(legend)
+    if x_label or y_label:
+        footer += f"   (x: {x_label}, y: {y_label})"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def rows_to_series(
+    rows: Sequence[Mapping[str, object]],
+    group_key: str,
+    x_key: str,
+    y_key: str,
+) -> dict[str, list[tuple[float, float]]]:
+    """Pivot experiment rows into line_chart input.
+
+    E.g. Figure 11's rows (technique, m, numopt_pct) become one series
+    per technique over (m, numopt_pct).
+    """
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        name = str(row[group_key])
+        series.setdefault(name, []).append(
+            (float(row[x_key]), float(row[y_key]))  # type: ignore[arg-type]
+        )
+    for pts in series.values():
+        pts.sort()
+    return series

@@ -1,0 +1,129 @@
+"""Evaluation metrics (section 2.1 of the paper).
+
+Per instance: cost sub-optimality ``SO(q) = Cost(P(q), q) /
+Cost(Popt(q), q)``.  Per sequence: ``MSO`` (max SO), ``TotalCostRatio``
+(sum of chosen costs over sum of optimal costs — always in
+``[1, MSO]``), ``numOpt`` (optimizer calls) and ``numPlans`` (peak
+plans cached).  Across sequences the paper reports averages and 95th
+percentiles, reproduced by :class:`MetricAggregate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class InstanceRecord:
+    """Measured outcome for one processed query instance."""
+
+    sequence_id: int
+    chosen_cost: float
+    optimal_cost: float
+    used_optimizer: bool
+    check: str
+    recost_calls: int = 0
+    plan_signature: str = ""
+
+    @property
+    def suboptimality(self) -> float:
+        if self.optimal_cost <= 0:
+            raise ValueError("optimal cost must be positive")
+        # Chosen cost can dip below "optimal" cost only through model
+        # noise; clamp so SO >= 1 as the definition requires.
+        return max(1.0, self.chosen_cost / self.optimal_cost)
+
+
+@dataclass
+class SequenceResult:
+    """All records of one (technique, workload sequence) run."""
+
+    technique: str
+    template: str
+    ordering: str
+    lam: float | None
+    records: list[InstanceRecord] = field(default_factory=list)
+    num_plans: int = 0           # peak plans cached (the paper's numPlans)
+    total_recost_calls: int = 0
+
+    def add(self, record: InstanceRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def m(self) -> int:
+        return len(self.records)
+
+    @property
+    def suboptimalities(self) -> np.ndarray:
+        return np.array([r.suboptimality for r in self.records])
+
+    @property
+    def mso(self) -> float:
+        """Worst-case sub-optimality across the sequence."""
+        return float(self.suboptimalities.max()) if self.records else 1.0
+
+    @property
+    def total_cost_ratio(self) -> float:
+        """Aggregate sub-optimality: sum(chosen) / sum(optimal)."""
+        chosen = sum(r.chosen_cost for r in self.records)
+        optimal = sum(r.optimal_cost for r in self.records)
+        return max(1.0, chosen / optimal) if optimal > 0 else 1.0
+
+    @property
+    def num_opt(self) -> int:
+        return sum(1 for r in self.records if r.used_optimizer)
+
+    @property
+    def num_opt_percent(self) -> float:
+        return 100.0 * self.num_opt / self.m if self.m else 0.0
+
+    def violations(self, lam: float) -> int:
+        """Instances whose SO exceeded the bound (assumption violations)."""
+        return int((self.suboptimalities > lam * (1 + 1e-9)).sum())
+
+    def running_num_opt_percent(self, prefix_lengths: Sequence[int]) -> list[float]:
+        """numOpt %% over growing prefixes (Figures 11 and 18)."""
+        flags = np.array([r.used_optimizer for r in self.records], dtype=np.int64)
+        cum = np.cumsum(flags)
+        return [100.0 * cum[n - 1] / n for n in prefix_lengths if 0 < n <= self.m]
+
+
+@dataclass
+class MetricAggregate:
+    """Average / percentile summaries across many sequences."""
+
+    values: np.ndarray
+
+    @classmethod
+    def over(cls, results: Sequence[SequenceResult], metric: str) -> "MetricAggregate":
+        extractors = {
+            "mso": lambda r: r.mso,
+            "total_cost_ratio": lambda r: r.total_cost_ratio,
+            "num_opt_percent": lambda r: r.num_opt_percent,
+            "num_plans": lambda r: float(r.num_plans),
+        }
+        try:
+            fn = extractors[metric]
+        except KeyError:
+            raise ValueError(
+                f"unknown metric {metric!r}; options: {sorted(extractors)}"
+            ) from None
+        return cls(np.array([fn(r) for r in results], dtype=np.float64))
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean()) if self.values.size else 0.0
+
+    def percentile(self, p: float) -> float:
+        return float(np.percentile(self.values, p)) if self.values.size else 0.0
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def maximum(self) -> float:
+        return float(self.values.max()) if self.values.size else 0.0

@@ -1,0 +1,56 @@
+"""Paper-style textual reporting of experiment results.
+
+Every experiment renders its result as the rows/series the paper's
+corresponding figure or table plots, so EXPERIMENTS.md can record
+paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns or rows[0].keys())
+
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[Any], ys: Sequence[float], y_format: str = "{:.2f}"
+) -> str:
+    """Render an (x, y) series as one labelled line per point."""
+    lines = [name]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x}: {y_format.format(y)}")
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    return f"{value:.1f}%"

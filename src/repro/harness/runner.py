@@ -1,0 +1,148 @@
+"""Drive an online PQO technique over a workload sequence.
+
+For every instance the runner asks the technique for a plan (through
+the engine APIs, so optimizer/recost calls are counted against the
+technique) and then scores the choice against the oracle's ground
+truth: the optimal cost at the instance, and the chosen plan's recost
+there.  This mirrors the paper's methodology of evaluating with
+optimizer-estimated costs (section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..catalog.registry import get_database
+from ..core.technique import OnlinePQOTechnique
+from ..engine.api import EngineAPI
+from ..engine.database import Database
+from ..query.instance import QueryInstance
+from ..query.template import QueryTemplate
+from ..workload.generator import instances_for_template
+from ..workload.orderings import Ordering, order_instances
+from .metrics import InstanceRecord, SequenceResult
+from .oracle import Oracle
+
+TechniqueFactory = Callable[[EngineAPI], OnlinePQOTechnique]
+
+
+def run_sequence(
+    db: Database,
+    template: QueryTemplate,
+    instances: Sequence[QueryInstance],
+    technique_factory: TechniqueFactory,
+    oracle: Oracle | None = None,
+    ordering_label: str = "given",
+    lam: float | None = None,
+) -> SequenceResult:
+    """Run one technique over one ordered instance sequence."""
+    oracle = oracle or Oracle(db, template)
+    engine = EngineAPI(
+        template,
+        oracle._optimizer,  # share the optimizer; accounting is per-EngineAPI
+        db.estimator,
+    )
+    technique = technique_factory(engine)
+    result = SequenceResult(
+        technique=technique.name,
+        template=template.name,
+        ordering=ordering_label,
+        lam=lam,
+    )
+    for instance in instances:
+        choice = technique.process(instance)
+        truth = oracle.optimal(instance.selectivities)
+        if choice.plan_signature == truth.plan_signature:
+            chosen_cost = truth.optimal_cost
+        else:
+            chosen_cost = oracle.plan_cost(
+                choice.shrunken_memo, instance.selectivities
+            )
+        result.add(
+            InstanceRecord(
+                sequence_id=instance.sequence_id,
+                chosen_cost=chosen_cost,
+                optimal_cost=truth.optimal_cost,
+                used_optimizer=choice.used_optimizer,
+                check=choice.check,
+                recost_calls=choice.recost_calls,
+                plan_signature=choice.plan_signature,
+            )
+        )
+        result.total_recost_calls += choice.recost_calls
+    result.num_plans = technique.max_plans_cached
+    return result
+
+
+@dataclass
+class SequenceSpec:
+    """A fully specified workload sequence: template + m + ordering."""
+
+    template: QueryTemplate
+    m: int
+    ordering: Ordering
+    seed: int = 0
+
+
+class WorkloadRunner:
+    """Caches databases, oracles and instance sets across runs.
+
+    The paper evaluates every technique on the *same* 450 sequences;
+    sharing the oracle across techniques makes that affordable.
+    """
+
+    def __init__(self, db_scale: float = 1.0, db_seed: int = 42) -> None:
+        self.db_scale = db_scale
+        self.db_seed = db_seed
+        self._oracles: dict[str, Oracle] = {}
+        self._instance_sets: dict[tuple[str, int, int], list[QueryInstance]] = {}
+
+    def database(self, name: str) -> Database:
+        return get_database(name, scale=self.db_scale, seed=self.db_seed)
+
+    def oracle(self, template: QueryTemplate) -> Oracle:
+        oracle = self._oracles.get(template.name)
+        if oracle is None:
+            oracle = Oracle(self.database(template.database), template)
+            self._oracles[template.name] = oracle
+        return oracle
+
+    def base_instances(
+        self, template: QueryTemplate, m: int, seed: int = 0
+    ) -> list[QueryInstance]:
+        key = (template.name, m, seed)
+        instances = self._instance_sets.get(key)
+        if instances is None:
+            instances = instances_for_template(template, m, seed=seed)
+            self._instance_sets[key] = instances
+        return instances
+
+    def ordered_instances(self, spec: SequenceSpec) -> list[QueryInstance]:
+        instances = self.base_instances(spec.template, spec.m, spec.seed)
+        if spec.ordering is Ordering.RANDOM:
+            return order_instances(instances, spec.ordering, seed=spec.seed)
+        oracle = self.oracle(spec.template)
+        costs, signatures = oracle.annotate(instances)
+        return order_instances(
+            instances, spec.ordering, costs, signatures, seed=spec.seed
+        )
+
+    def run(
+        self,
+        spec: SequenceSpec,
+        technique_factory: TechniqueFactory,
+        lam: float | None = None,
+    ) -> SequenceResult:
+        """Run one technique over one sequence spec."""
+        db = self.database(spec.template.database)
+        ordered = self.ordered_instances(spec)
+        return run_sequence(
+            db,
+            spec.template,
+            ordered,
+            technique_factory,
+            oracle=self.oracle(spec.template),
+            ordering_label=spec.ordering.value,
+            lam=lam,
+        )

@@ -1,0 +1,25 @@
+"""Cost-based query optimizer: plan search, cost model, Recost API."""
+
+from .cardinality import CardinalityModel
+from .cost_model import CostModel, CostParameters, DEFAULT_COST_PARAMETERS
+from .memo import Memo, MemoGroup
+from .operators import PhysicalOp
+from .optimizer import OptimizationResult, QueryOptimizer
+from .plans import PhysicalPlan, PlanNode
+from .recost import ShrunkenMemo, shrink
+
+__all__ = [
+    "CardinalityModel",
+    "CostModel",
+    "CostParameters",
+    "DEFAULT_COST_PARAMETERS",
+    "Memo",
+    "MemoGroup",
+    "OptimizationResult",
+    "PhysicalOp",
+    "PhysicalPlan",
+    "PlanNode",
+    "QueryOptimizer",
+    "ShrunkenMemo",
+    "shrink",
+]

@@ -1,0 +1,146 @@
+"""Physical plan trees and plan signatures.
+
+A :class:`PhysicalPlan` is the optimizer's output: an operator tree
+annotated with the cardinalities and costs derived at the instance it
+was optimized for.  The *signature* of a plan identifies its structure
+(operators, join order, access paths) independently of cardinalities —
+two instances share "the same plan" exactly when their signatures match,
+which is how the plan cache detects an already-stored plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .operators import PhysicalOp
+
+
+@dataclass
+class PlanNode:
+    """One node of a physical plan tree.
+
+    Attributes
+    ----------
+    op:
+        Physical operator.
+    children:
+        Child plan nodes (0 for scans, 1 for sort/aggregate, 2 for joins).
+    table:
+        Base table name (scans only).
+    index_column:
+        Column whose index the scan/probe uses (IndexScan and
+        IndexNestedLoopsJoin only).
+    join_left_column / join_right_column:
+        Equi-join columns, qualified ``table.column`` strings (joins only).
+    sort_column:
+        Sort key (Sort and StreamAggregate input order).
+    group_column:
+        Grouping column (aggregates).
+    param_indices:
+        Selectivity-vector dimensions whose predicates this node applies
+        (scans only): re-costing rebinds these.
+    fixed_selectivity:
+        Product of constant-predicate selectivities applied at this node.
+    join_selectivity:
+        Fixed equi-join selectivity (joins only; paper assumption: join
+        selectivities do not vary across instances).
+    cardinality / cost:
+        Output cardinality and *cumulative* cost derived at optimization
+        time (subtree cost including children).
+    """
+
+    op: PhysicalOp
+    children: list["PlanNode"] = field(default_factory=list)
+    table: Optional[str] = None
+    index_column: Optional[str] = None
+    join_left_column: Optional[str] = None
+    join_right_column: Optional[str] = None
+    sort_column: Optional[str] = None
+    group_column: Optional[str] = None
+    param_indices: tuple[int, ...] = ()
+    fixed_selectivity: float = 1.0
+    join_selectivity: float = 1.0
+    base_rows: float = 0.0
+    left_sorted: bool = False
+    right_sorted: bool = False
+    group_distinct: float = 0.0
+    cardinality: float = 0.0
+    cost: float = 0.0
+
+    def signature(self) -> str:
+        """Structural identity of the subtree (ignores cardinalities)."""
+        parts = [self.op.value]
+        if self.table:
+            parts.append(self.table)
+        if self.index_column:
+            parts.append(f"ix:{self.index_column}")
+        if self.join_left_column:
+            parts.append(f"{self.join_left_column}={self.join_right_column}")
+        if self.sort_column:
+            parts.append(f"sort:{self.sort_column}")
+        if self.group_column:
+            parts.append(f"grp:{self.group_column}")
+        inner = ",".join(child.signature() for child in self.children)
+        return f"{'/'.join(parts)}({inner})"
+
+    def nodes(self) -> list["PlanNode"]:
+        """All nodes of the subtree in post-order (children first)."""
+        out: list[PlanNode] = []
+        for child in self.children:
+            out.extend(child.nodes())
+        out.append(self)
+        return out
+
+    def pretty(self, indent: int = 0) -> str:
+        """Human-readable multi-line rendering of the plan."""
+        label = self.op.value
+        if self.table:
+            label += f" {self.table}"
+        if self.index_column:
+            label += f" (index on {self.index_column})"
+        if self.join_left_column:
+            label += f" [{self.join_left_column} = {self.join_right_column}]"
+        if self.sort_column and self.op is PhysicalOp.SORT:
+            label += f" by {self.sort_column}"
+        if self.group_column:
+            label += f" group by {self.group_column}"
+        line = "  " * indent + (
+            f"{label}  (card={self.cardinality:.1f}, cost={self.cost:.1f})"
+        )
+        lines = [line]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class PhysicalPlan:
+    """A complete plan: root node plus bookkeeping for the plan cache."""
+
+    root: PlanNode
+    template_name: str
+    plan_id: int = -1
+
+    @property
+    def cost(self) -> float:
+        return self.root.cost
+
+    @property
+    def cardinality(self) -> float:
+        return self.root.cardinality
+
+    def signature(self) -> str:
+        return self.root.signature()
+
+    def node_count(self) -> int:
+        return len(self.root.nodes())
+
+    def operators(self) -> list[PhysicalOp]:
+        return [node.op for node in self.root.nodes()]
+
+    def pretty(self) -> str:
+        return self.root.pretty()
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.pretty()

@@ -1,0 +1,25 @@
+"""Query representation: templates, instances, selectivity vectors."""
+
+from .expressions import (
+    ColumnRef,
+    ComparisonOp,
+    FixedPredicate,
+    JoinEdge,
+    ParameterizedPredicate,
+)
+from .instance import QueryInstance, SelectivityVector
+from .template import AggregationKind, QueryTemplate, join, range_predicate
+
+__all__ = [
+    "AggregationKind",
+    "ColumnRef",
+    "ComparisonOp",
+    "FixedPredicate",
+    "JoinEdge",
+    "ParameterizedPredicate",
+    "QueryInstance",
+    "QueryTemplate",
+    "SelectivityVector",
+    "join",
+    "range_predicate",
+]

@@ -1,0 +1,81 @@
+"""Predicate and column expressions for parameterized query templates.
+
+A query template (section 2 of the paper) has ``d`` *parameterized*
+predicates — one-sided range or equality comparisons whose right-hand
+side is bound per query instance — plus optional *fixed* predicates
+whose constants never change across instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ComparisonOp(Enum):
+    """Comparison operators supported in predicates."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+    def apply(self, lhs, rhs):
+        """Vectorized evaluation (numpy-friendly)."""
+        if self is ComparisonOp.LE:
+            return lhs <= rhs
+        if self is ComparisonOp.GE:
+            return lhs >= rhs
+        return lhs == rhs
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A reference to ``table.column``."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+@dataclass(frozen=True)
+class ParameterizedPredicate:
+    """A predicate ``table.column <op> ?`` bound per query instance.
+
+    The paper adds one-sided range predicates (``col < v`` / ``col > v``)
+    to benchmark queries to obtain fine-grained selectivity control;
+    these are exactly the predicates modelled here.
+    """
+
+    column: ColumnRef
+    op: ComparisonOp
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op.value} ?"
+
+
+@dataclass(frozen=True)
+class FixedPredicate:
+    """A predicate with a constant right-hand side, same for all instances."""
+
+    column: ColumnRef
+    op: ComparisonOp
+    value: float
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op.value} {self.value}"
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """An equi-join ``left.column == right.column`` between two tables."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def tables(self) -> tuple[str, str]:
+        return (self.left.table, self.right.table)
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"

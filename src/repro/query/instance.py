@@ -1,0 +1,120 @@
+"""Query instances and selectivity vectors.
+
+An instance of a parameterized query binds a concrete value to each of
+the ``d`` parameterized predicates.  Its compact representation is the
+**selectivity vector** ``sVector = (s_1, ..., s_d)`` — the estimated
+selectivity of each parameterized predicate — which is all that the
+online PQO techniques look at (section 2 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SelectivityVector:
+    """Immutable selectivity vector with the arithmetic used by SCR."""
+
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        for s in self.values:
+            if not (0.0 < s <= 1.0):
+                raise ValueError(f"selectivities must be in (0, 1], got {s}")
+
+    @classmethod
+    def of(cls, *values: float) -> "SelectivityVector":
+        return cls(tuple(float(v) for v in values))
+
+    @classmethod
+    def from_sequence(cls, values: Sequence[float]) -> "SelectivityVector":
+        return cls(tuple(float(v) for v in values))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, i: int) -> float:
+        return self.values[i]
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def ratios(self, other: "SelectivityVector") -> tuple[float, ...]:
+        """Per-dimension ratios ``alpha_i = other_i / self_i``.
+
+        ``self`` plays the role of the stored instance ``q_e`` and
+        ``other`` the new instance ``q_c`` (section 5.3).
+        """
+        if len(other) != len(self):
+            raise ValueError(
+                f"dimension mismatch: {len(self)} vs {len(other)}"
+            )
+        return tuple(o / s for s, o in zip(self.values, other.values))
+
+    def log_distance(self, other: "SelectivityVector") -> float:
+        """Symmetric log-space distance ``sum_i |ln alpha_i|``.
+
+        Equals ``ln(G * L)``; used to order candidates by the selectivity
+        check's GL product (section 6.2's pruning heuristic).
+        """
+        return sum(abs(math.log(a)) for a in self.ratios(other))
+
+    def euclidean_distance(self, other: "SelectivityVector") -> float:
+        """Plain Euclidean distance (used by the heuristic baselines)."""
+        if len(other) != len(self):
+            raise ValueError("dimension mismatch")
+        return math.sqrt(
+            sum((a - b) ** 2 for a, b in zip(self.values, other.values))
+        )
+
+    def dominates(self, other: "SelectivityVector") -> bool:
+        """True if every selectivity of ``self`` >= that of ``other``.
+
+        PCM's inference regions are built from dominating pairs.
+        """
+        if len(other) != len(self):
+            raise ValueError("dimension mismatch")
+        return all(a >= b for a, b in zip(self.values, other.values))
+
+
+@dataclass(frozen=True)
+class QueryInstance:
+    """A concrete instantiation of a query template.
+
+    Attributes
+    ----------
+    template_name:
+        Name of the :class:`~repro.query.template.QueryTemplate`.
+    parameters:
+        One bound constant per parameterized predicate (in template
+        order).  May be empty for synthetic instances specified directly
+        by selectivity (the workload generator produces both).
+    sv:
+        Selectivity vector; computed by the engine's sVector API for
+        real instances, or chosen directly by synthetic generators.
+    sequence_id:
+        Position in the workload sequence (informational).
+    """
+
+    template_name: str
+    parameters: tuple[float, ...] = field(default=())
+    sv: SelectivityVector | None = None
+    sequence_id: int = -1
+
+    @property
+    def selectivities(self) -> SelectivityVector:
+        if self.sv is None:
+            raise ValueError(
+                "instance has no selectivity vector; call the engine's "
+                "selectivity_vector API first"
+            )
+        return self.sv
+
+    def with_selectivities(self, sv: SelectivityVector) -> "QueryInstance":
+        return QueryInstance(self.template_name, self.parameters, sv, self.sequence_id)
+
+    def with_sequence_id(self, sequence_id: int) -> "QueryInstance":
+        return QueryInstance(self.template_name, self.parameters, self.sv, sequence_id)

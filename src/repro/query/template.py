@@ -1,0 +1,139 @@
+"""Parameterized query templates (the paper's query template ``Q``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from .expressions import (
+    ColumnRef,
+    ComparisonOp,
+    FixedPredicate,
+    JoinEdge,
+    ParameterizedPredicate,
+)
+
+
+class AggregationKind(Enum):
+    """Optional aggregation applied on top of the join tree."""
+
+    NONE = "none"
+    COUNT = "count"
+    GROUP_BY = "group_by"
+
+
+@dataclass
+class QueryTemplate:
+    """A parameterized SPJ(+aggregate) query over one database.
+
+    Attributes
+    ----------
+    name:
+        Template identifier (e.g. ``"tpcds_q18_like"``).
+    database:
+        Name of the database (catalog registry key) this query runs on.
+    tables:
+        Tables referenced by the query.
+    joins:
+        Equi-join edges; the induced join graph must be connected.
+    parameterized:
+        The ``d`` parameterized predicates, order defines the dimensions
+        of the selectivity vector.
+    fixed:
+        Constant predicates applied identically to every instance.
+    aggregation:
+        Optional aggregate on top (affects plan shape and cost only).
+    group_by:
+        Grouping column when ``aggregation`` is GROUP_BY.
+    order_by:
+        Optional sort column at the root (forces a Sort / enables
+        merge-friendly plans).
+    """
+
+    name: str
+    database: str
+    tables: list[str]
+    joins: list[JoinEdge] = field(default_factory=list)
+    parameterized: list[ParameterizedPredicate] = field(default_factory=list)
+    fixed: list[FixedPredicate] = field(default_factory=list)
+    aggregation: AggregationKind = AggregationKind.NONE
+    group_by: Optional[ColumnRef] = None
+    order_by: Optional[ColumnRef] = None
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise ValueError(f"template {self.name}: needs at least one table")
+        if len(set(self.tables)) != len(self.tables):
+            raise ValueError(f"template {self.name}: duplicate table references")
+        table_set = set(self.tables)
+        for join in self.joins:
+            for tbl in join.tables():
+                if tbl not in table_set:
+                    raise ValueError(
+                        f"template {self.name}: join references unknown table {tbl!r}"
+                    )
+        for pred in list(self.parameterized) + list(self.fixed):
+            if pred.column.table not in table_set:
+                raise ValueError(
+                    f"template {self.name}: predicate on unknown table "
+                    f"{pred.column.table!r}"
+                )
+        if len(self.tables) > 1 and not self._is_connected():
+            raise ValueError(f"template {self.name}: join graph is not connected")
+        if self.aggregation is AggregationKind.GROUP_BY and self.group_by is None:
+            raise ValueError(f"template {self.name}: GROUP_BY requires group_by column")
+
+    @property
+    def dimensions(self) -> int:
+        """Number of parameterized predicates (the paper's ``d``)."""
+        return len(self.parameterized)
+
+    def predicates_on(self, table: str) -> list[ParameterizedPredicate]:
+        """Parameterized predicates that filter ``table``."""
+        return [p for p in self.parameterized if p.column.table == table]
+
+    def parameter_index(self, pred: ParameterizedPredicate) -> int:
+        """Dimension index of a parameterized predicate."""
+        return self.parameterized.index(pred)
+
+    def fixed_on(self, table: str) -> list[FixedPredicate]:
+        """Fixed predicates that filter ``table``."""
+        return [p for p in self.fixed if p.column.table == table]
+
+    def join_edges_between(self, left_tables: frozenset, right_tables: frozenset):
+        """Join edges connecting two disjoint table sets."""
+        edges = []
+        for join in self.joins:
+            a, b = join.tables()
+            if (a in left_tables and b in right_tables) or (
+                a in right_tables and b in left_tables
+            ):
+                edges.append(join)
+        return edges
+
+    def _is_connected(self) -> bool:
+        adjacency: dict[str, set[str]] = {t: set() for t in self.tables}
+        for join in self.joins:
+            a, b = join.tables()
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        seen = {self.tables[0]}
+        frontier = [self.tables[0]]
+        while frontier:
+            node = frontier.pop()
+            for nxt in adjacency[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return len(seen) == len(self.tables)
+
+
+def range_predicate(table: str, column: str, op: str = "<=") -> ParameterizedPredicate:
+    """Convenience constructor for a parameterized range predicate."""
+    return ParameterizedPredicate(ColumnRef(table, column), ComparisonOp(op))
+
+
+def join(left_table: str, left_col: str, right_table: str, right_col: str) -> JoinEdge:
+    """Convenience constructor for an equi-join edge."""
+    return JoinEdge(ColumnRef(left_table, left_col), ColumnRef(right_table, right_col))

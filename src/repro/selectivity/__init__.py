@@ -1,0 +1,6 @@
+"""Selectivity estimation: histograms and the sVector API."""
+
+from .estimator import SelectivityEstimator
+from .histogram import EquiDepthHistogram
+
+__all__ = ["EquiDepthHistogram", "SelectivityEstimator"]

@@ -1,0 +1,40 @@
+"""Workload generation: bucketized instances, orderings, the suite."""
+
+from .drift import DriftingWorkload, Phase, seasonal_workload
+from .generator import (
+    DEFAULT_BANDS,
+    SelectivityBands,
+    generate_selectivity_vectors,
+    instances_for_template,
+)
+from .orderings import ALL_ORDERINGS, Ordering, order_instances
+from .suite import SuiteConfig, build_templates
+from .templates import (
+    dimension_sweep_template,
+    rd1_templates,
+    rd2_templates,
+    seed_templates,
+    tpcds_templates,
+    tpch_templates,
+)
+
+__all__ = [
+    "ALL_ORDERINGS",
+    "DriftingWorkload",
+    "Phase",
+    "seasonal_workload",
+    "DEFAULT_BANDS",
+    "Ordering",
+    "SelectivityBands",
+    "SuiteConfig",
+    "build_templates",
+    "dimension_sweep_template",
+    "generate_selectivity_vectors",
+    "instances_for_template",
+    "order_instances",
+    "rd1_templates",
+    "rd2_templates",
+    "seed_templates",
+    "tpcds_templates",
+    "tpch_templates",
+]

@@ -1,0 +1,119 @@
+"""Workloads whose parameter distribution drifts over time.
+
+The paper evaluates stationary (if adversarially ordered) workloads;
+real applications shift — a reporting query moves from current-month to
+year-end parameters, a dashboard's user base changes.  This module
+generates *phased* workloads: the selectivity-space region mix changes
+at phase boundaries, which stresses exactly the mechanisms the paper
+adds for cache hygiene (usage counts, LFU eviction under a budget,
+redundancy checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..query.instance import QueryInstance, SelectivityVector
+from .generator import DEFAULT_BANDS, SelectivityBands, _log_uniform
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One workload phase: how many instances, and where they live.
+
+    ``region`` selects the bucketization region the phase concentrates
+    on: ``"small"`` (all dimensions small), ``"large"`` (all large), or
+    an integer dimension index (large only in that dimension).
+    """
+
+    length: int
+    region: str | int
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("phase length must be >= 1")
+        if isinstance(self.region, str) and self.region not in ("small", "large"):
+            raise ValueError("region must be 'small', 'large' or a dim index")
+
+
+@dataclass
+class DriftingWorkload:
+    """A sequence of phases over one template's selectivity space."""
+
+    dimensions: int
+    phases: list[Phase]
+    bands: SelectivityBands = field(default_factory=lambda: DEFAULT_BANDS)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dimensions < 1:
+            raise ValueError("dimensions must be >= 1")
+        if not self.phases:
+            raise ValueError("at least one phase required")
+        for phase in self.phases:
+            if isinstance(phase.region, int) and not (
+                0 <= phase.region < self.dimensions
+            ):
+                raise ValueError(
+                    f"phase region dim {phase.region} out of range"
+                )
+
+    @property
+    def total_length(self) -> int:
+        return sum(p.length for p in self.phases)
+
+    def phase_boundaries(self) -> list[int]:
+        """Sequence ids at which a new phase begins (excluding 0)."""
+        out = []
+        total = 0
+        for phase in self.phases[:-1]:
+            total += phase.length
+            out.append(total)
+        return out
+
+    def instances(self, template_name: str = "q") -> list[QueryInstance]:
+        """Generate the full phased sequence."""
+        rng = np.random.default_rng(self.seed)
+        bands = self.bands
+        result: list[QueryInstance] = []
+        for phase in self.phases:
+            for _ in range(phase.length):
+                values = []
+                for dim in range(self.dimensions):
+                    large = (
+                        phase.region == "large"
+                        or (isinstance(phase.region, int)
+                            and phase.region == dim)
+                    )
+                    if large:
+                        lo, hi = bands.large_low, bands.large_high
+                    else:
+                        lo, hi = bands.small_low, bands.small_high
+                    values.append(float(_log_uniform(rng, lo, hi, 1)[0]))
+                result.append(QueryInstance(
+                    template_name,
+                    sv=SelectivityVector.from_sequence(values),
+                    sequence_id=len(result),
+                ))
+        return result
+
+
+def seasonal_workload(
+    dimensions: int,
+    phase_length: int = 100,
+    cycles: int = 2,
+    seed: int = 0,
+) -> DriftingWorkload:
+    """A small/large alternation repeated ``cycles`` times.
+
+    Models seasonality: the same two parameter regimes recur, so a
+    well-managed cache should stop paying optimizer calls after the
+    first cycle (each regime's plans are already cached).
+    """
+    phases = []
+    for _ in range(cycles):
+        phases.append(Phase(phase_length, "small"))
+        phases.append(Phase(phase_length, "large"))
+    return DriftingWorkload(dimensions=dimensions, phases=phases, seed=seed)

@@ -1,0 +1,123 @@
+"""Workload instance generation (section 7.1 of the paper).
+
+A workload sequence is challenging for online PQO when it has
+(a) widely varying selectivities, (b) many parameters, (c) many
+distinct optimal plans and (d) reuse potential.  The paper achieves
+this with a *bucketization* of the selectivity space into ``d + 2``
+regions:
+
+* **Region0** — all parameterized predicates have small selectivity;
+* **Region1** — all have large selectivity;
+* **Region_di** (one per dimension) — only dimension ``i`` is large.
+
+``m`` instances are drawn as ``m / (d + 2)`` per region and shuffled.
+Selectivities are sampled log-uniformly inside each band so that low
+selectivities are well represented; concrete predicate parameters can
+then be obtained by histogram-quantile inversion when execution (not
+just costing) is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..query.instance import QueryInstance, SelectivityVector
+from ..query.template import QueryTemplate
+from ..selectivity.estimator import SelectivityEstimator
+
+
+@dataclass(frozen=True)
+class SelectivityBands:
+    """The "small" and "large" selectivity bands for bucketization."""
+
+    small_low: float = 0.005
+    small_high: float = 0.05
+    large_low: float = 0.35
+    large_high: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (0 < self.small_low < self.small_high <= self.large_low
+                < self.large_high <= 1.0):
+            raise ValueError("bands must satisfy 0 < s_lo < s_hi <= l_lo < l_hi <= 1")
+
+
+DEFAULT_BANDS = SelectivityBands()
+
+
+def _log_uniform(
+    rng: np.random.Generator, low: float, high: float, size: int
+) -> np.ndarray:
+    return np.exp(rng.uniform(np.log(low), np.log(high), size=size))
+
+
+def generate_selectivity_vectors(
+    dimensions: int,
+    m: int,
+    seed: int = 0,
+    bands: SelectivityBands = DEFAULT_BANDS,
+) -> list[SelectivityVector]:
+    """Sample ``m`` selectivity vectors using the d+2 region scheme."""
+    if dimensions < 1:
+        raise ValueError("dimensions must be >= 1")
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    rng = np.random.default_rng(seed)
+    regions = dimensions + 2
+    per_region = [m // regions] * regions
+    for i in range(m - sum(per_region)):
+        per_region[i % regions] += 1
+
+    vectors: list[SelectivityVector] = []
+
+    def sample(is_large: list[bool], count: int) -> None:
+        cols = []
+        for large in is_large:
+            if large:
+                cols.append(_log_uniform(rng, bands.large_low, bands.large_high, count))
+            else:
+                cols.append(_log_uniform(rng, bands.small_low, bands.small_high, count))
+        matrix = np.column_stack(cols)
+        for row in matrix:
+            vectors.append(SelectivityVector.from_sequence(row))
+
+    sample([False] * dimensions, per_region[0])               # Region0
+    sample([True] * dimensions, per_region[1])                # Region1
+    for dim in range(dimensions):                             # Region_di
+        mask = [i == dim for i in range(dimensions)]
+        sample(mask, per_region[2 + dim])
+
+    order = rng.permutation(len(vectors))
+    return [vectors[i] for i in order]
+
+
+def instances_for_template(
+    template: QueryTemplate,
+    m: int,
+    seed: int = 0,
+    bands: SelectivityBands = DEFAULT_BANDS,
+    estimator: SelectivityEstimator | None = None,
+) -> list[QueryInstance]:
+    """Generate ``m`` query instances for a template.
+
+    With an ``estimator`` the target selectivities are inverted into
+    concrete predicate parameters (required for actual execution);
+    without one the instances carry the selectivity vector directly
+    (sufficient for all cost-based experiments).
+    """
+    vectors = generate_selectivity_vectors(template.dimensions, m, seed, bands)
+    instances = []
+    for i, sv in enumerate(vectors):
+        params: tuple[float, ...] = ()
+        if estimator is not None:
+            params = estimator.parameters_for_selectivities(template, sv)
+        instances.append(
+            QueryInstance(
+                template_name=template.name,
+                parameters=params,
+                sv=sv,
+                sequence_id=i,
+            )
+        )
+    return instances

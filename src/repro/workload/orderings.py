@@ -1,0 +1,93 @@
+"""Workload orderings (Appendix H.1 of the paper).
+
+Different arrival orders stress online PQO techniques differently — a
+decreasing-cost order, for example, starves PCM of usable dominating
+pairs (section 7.3 highlights exactly this failure mode).  The paper
+evaluates five orderings of the same instance set; all five are
+implemented here.  Orders other than ``random`` need each instance's
+optimal cost and plan, supplied by the harness's oracle pass.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from ..query.instance import QueryInstance
+
+
+class Ordering(Enum):
+    """The five arrival orders of Appendix H.1."""
+
+    RANDOM = "random"
+    DECREASING_COST = "decreasing_cost"
+    ROUND_ROBIN_PLANS = "round_robin_plans"
+    INSIDE_OUT = "inside_out"
+    OUTSIDE_IN = "outside_in"
+
+
+ALL_ORDERINGS = list(Ordering)
+
+
+def order_instances(
+    instances: Sequence[QueryInstance],
+    ordering: Ordering,
+    optimal_costs: Sequence[float] | None = None,
+    plan_signatures: Sequence[str] | None = None,
+    seed: int = 0,
+) -> list[QueryInstance]:
+    """Rearrange ``instances`` according to ``ordering``.
+
+    ``optimal_costs`` is required for every ordering except RANDOM;
+    ``plan_signatures`` additionally for ROUND_ROBIN_PLANS.  Sequence
+    ids are rewritten to reflect the new positions.
+    """
+    if ordering is Ordering.RANDOM:
+        rng = np.random.default_rng(seed)
+        permuted = [instances[i] for i in rng.permutation(len(instances))]
+        return _renumber(permuted)
+
+    if optimal_costs is None:
+        raise ValueError(f"{ordering.value} ordering requires optimal costs")
+    if len(optimal_costs) != len(instances):
+        raise ValueError("optimal_costs length mismatch")
+
+    if ordering is Ordering.DECREASING_COST:
+        idx = np.argsort(-np.asarray(optimal_costs), kind="stable")
+        return _renumber([instances[i] for i in idx])
+
+    if ordering is Ordering.ROUND_ROBIN_PLANS:
+        if plan_signatures is None:
+            raise ValueError("round-robin ordering requires plan signatures")
+        if len(plan_signatures) != len(instances):
+            raise ValueError("plan_signatures length mismatch")
+        by_plan: dict[str, list[int]] = defaultdict(list)
+        for i, sig in enumerate(plan_signatures):
+            by_plan[sig].append(i)
+        queues = [list(ids) for _, ids in sorted(by_plan.items())]
+        ordered: list[QueryInstance] = []
+        while any(queues):
+            for queue in queues:
+                if queue:
+                    ordered.append(instances[queue.pop(0)])
+        return _renumber(ordered)
+
+    costs = np.asarray(optimal_costs, dtype=np.float64)
+    mean_cost = float(costs.mean())
+    deviation = np.abs(costs - mean_cost)
+    if ordering is Ordering.INSIDE_OUT:
+        # Near-average costs first, diverging toward the extremes.
+        idx = np.argsort(deviation, kind="stable")
+    elif ordering is Ordering.OUTSIDE_IN:
+        # Extreme costs first, converging toward the average.
+        idx = np.argsort(-deviation, kind="stable")
+    else:  # pragma: no cover - enum is closed
+        raise ValueError(f"unknown ordering {ordering}")
+    return _renumber([instances[i] for i in idx])
+
+
+def _renumber(instances: list[QueryInstance]) -> list[QueryInstance]:
+    return [inst.with_sequence_id(i) for i, inst in enumerate(instances)]

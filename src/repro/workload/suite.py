@@ -1,0 +1,124 @@
+"""The evaluation suite: templates, sequences and suite configuration.
+
+The paper's evaluation uses 90 query templates and, for each, 5
+orderings of a generated instance set (450 workload sequences of
+1000 instances each, 2000 for d > 3).  This module expands the
+hand-written seed templates into a suite of any requested size by
+systematic variation (flipped predicate directions, dropped
+dimensions, toggled aggregates), and packages sequence generation.
+
+The default suite is scaled down (templates / instances) so the whole
+benchmark battery runs on a laptop; the full paper-scale configuration
+is one constructor call away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..query.expressions import ComparisonOp, ParameterizedPredicate
+from ..query.template import AggregationKind, QueryTemplate
+from .generator import DEFAULT_BANDS, SelectivityBands
+from .templates import seed_templates
+
+
+def _flip(pred: ParameterizedPredicate) -> ParameterizedPredicate:
+    flipped = {
+        ComparisonOp.LE: ComparisonOp.GE,
+        ComparisonOp.GE: ComparisonOp.LE,
+        ComparisonOp.EQ: ComparisonOp.EQ,
+    }[pred.op]
+    return ParameterizedPredicate(pred.column, flipped)
+
+
+def _variants(template: QueryTemplate) -> list[QueryTemplate]:
+    """Derive systematic variants of one seed template."""
+    out: list[QueryTemplate] = []
+    # (a) flip the direction of every parameterized predicate.
+    out.append(replace(
+        template,
+        name=f"{template.name}_flip",
+        parameterized=[_flip(p) for p in template.parameterized],
+    ))
+    # (b) drop the last dimension (if that still leaves one).
+    if template.dimensions > 1:
+        out.append(replace(
+            template,
+            name=f"{template.name}_dropdim",
+            parameterized=list(template.parameterized[:-1]),
+        ))
+    # (c) toggle a COUNT aggregate on plain SPJ templates.
+    if template.aggregation is AggregationKind.NONE and template.order_by is None:
+        out.append(replace(
+            template,
+            name=f"{template.name}_count",
+            aggregation=AggregationKind.COUNT,
+        ))
+    # (d) flip only the first predicate (mixed directions).
+    if template.dimensions > 1:
+        mixed = [_flip(template.parameterized[0]), *template.parameterized[1:]]
+        out.append(replace(
+            template, name=f"{template.name}_mixed", parameterized=mixed
+        ))
+    # (e) drop the first dimension instead of the last.
+    if template.dimensions > 2:
+        out.append(replace(
+            template,
+            name=f"{template.name}_dropfirst",
+            parameterized=list(template.parameterized[1:]),
+        ))
+    return out
+
+
+def build_templates(count: int | None = None) -> list[QueryTemplate]:
+    """The suite's templates: seeds first, then derived variants.
+
+    ``count=None`` returns only the seed templates; otherwise seeds plus
+    as many variants as needed, up to the number derivable (95+).
+    """
+    seeds = seed_templates()
+    if count is None or count <= len(seeds):
+        return seeds[: count or len(seeds)]
+    templates = list(seeds)
+    for seed in seeds:
+        for variant in _variants(seed):
+            if len(templates) >= count:
+                return templates
+            templates.append(variant)
+    return templates
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """Configuration of one evaluation run of the suite.
+
+    The defaults are the scaled-down laptop configuration; call
+    :meth:`paper_scale` for the paper's 90x5x1000 setting.
+    """
+
+    num_templates: int = 16
+    instances_per_sequence: int = 200
+    instances_high_d: int = 300   # templates with d > 3 get more (paper: 2000)
+    seed: int = 7
+    bands: SelectivityBands = field(default=DEFAULT_BANDS)
+
+    @classmethod
+    def paper_scale(cls) -> "SuiteConfig":
+        return cls(
+            num_templates=90,
+            instances_per_sequence=1000,
+            instances_high_d=2000,
+        )
+
+    @classmethod
+    def smoke(cls) -> "SuiteConfig":
+        """Tiny configuration for unit tests."""
+        return cls(num_templates=4, instances_per_sequence=60, instances_high_d=80)
+
+    def sequence_length(self, template: QueryTemplate) -> int:
+        if template.dimensions > 3:
+            return self.instances_high_d
+        return self.instances_per_sequence
+
+    def templates(self) -> list[QueryTemplate]:
+        return build_templates(self.num_templates)

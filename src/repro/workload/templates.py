@@ -1,0 +1,387 @@
+"""Parameterized query template definitions over the four databases.
+
+The paper evaluates 90 templates across TPC-H (skewed), TPC-DS and two
+real-world databases, built by adding extra one-sided range predicates
+(``col <= v`` / ``col >= v``) to benchmark queries; roughly a third
+have d >= 4, and RD2 enables d up to 10.  This module defines the
+hand-written seed templates that capture those query shapes; the suite
+module expands them programmatically to any requested count.
+"""
+
+from __future__ import annotations
+
+from ..query.expressions import ColumnRef
+from ..query.template import AggregationKind, QueryTemplate, join, range_predicate
+
+
+def tpch_templates() -> list[QueryTemplate]:
+    """TPC-H-like SPJ(+aggregate) templates (d = 2..5)."""
+    templates = [
+        # Q3-like: customer x orders x lineitem, price/date parameters.
+        QueryTemplate(
+            name="tpch_shipping_priority",
+            database="tpch",
+            tables=["customer", "orders", "lineitem"],
+            joins=[
+                join("orders", "o_custkey", "customer", "c_custkey"),
+                join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+            ],
+            parameterized=[
+                range_predicate("customer", "c_acctbal", "<="),
+                range_predicate("orders", "o_orderdate", "<="),
+                range_predicate("lineitem", "l_shipdate", ">="),
+            ],
+        ),
+        # Q5-like: 5-way join through nation, two parameters.
+        QueryTemplate(
+            name="tpch_local_supplier",
+            database="tpch",
+            tables=["customer", "orders", "lineitem", "supplier", "nation"],
+            joins=[
+                join("orders", "o_custkey", "customer", "c_custkey"),
+                join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+                join("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+                join("supplier", "s_nationkey", "nation", "n_nationkey"),
+            ],
+            parameterized=[
+                range_predicate("orders", "o_orderdate", "<="),
+                range_predicate("lineitem", "l_quantity", ">="),
+            ],
+            aggregation=AggregationKind.GROUP_BY,
+            group_by=ColumnRef("nation", "n_nationkey"),
+        ),
+        # Q10-like: returned-items style, 4 parameters.
+        QueryTemplate(
+            name="tpch_returned_items",
+            database="tpch",
+            tables=["customer", "orders", "lineitem", "nation"],
+            joins=[
+                join("orders", "o_custkey", "customer", "c_custkey"),
+                join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+                join("customer", "c_nationkey", "nation", "n_nationkey"),
+            ],
+            parameterized=[
+                range_predicate("customer", "c_acctbal", ">="),
+                range_predicate("orders", "o_totalprice", "<="),
+                range_predicate("lineitem", "l_extendedprice", "<="),
+                range_predicate("lineitem", "l_discount", ">="),
+            ],
+        ),
+        # Q14-like: part x lineitem promotion effect, 3 parameters.
+        QueryTemplate(
+            name="tpch_promotion_effect",
+            database="tpch",
+            tables=["part", "lineitem"],
+            joins=[join("lineitem", "l_partkey", "part", "p_partkey")],
+            parameterized=[
+                range_predicate("lineitem", "l_shipdate", "<="),
+                range_predicate("part", "p_retailprice", "<="),
+                range_predicate("lineitem", "l_quantity", "<="),
+            ],
+            aggregation=AggregationKind.COUNT,
+        ),
+        # Q11-like: partsupp value over supplier/nation, d = 3.
+        QueryTemplate(
+            name="tpch_important_stock",
+            database="tpch",
+            tables=["partsupp", "supplier", "nation"],
+            joins=[
+                join("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+                join("supplier", "s_nationkey", "nation", "n_nationkey"),
+            ],
+            parameterized=[
+                range_predicate("partsupp", "ps_supplycost", "<="),
+                range_predicate("partsupp", "ps_availqty", ">="),
+                range_predicate("supplier", "s_acctbal", ">="),
+            ],
+        ),
+        # Wide scan-heavy 2-d template over the largest table.
+        QueryTemplate(
+            name="tpch_lineitem_scan",
+            database="tpch",
+            tables=["lineitem", "orders"],
+            joins=[join("lineitem", "l_orderkey", "orders", "o_orderkey")],
+            parameterized=[
+                range_predicate("lineitem", "l_extendedprice", "<="),
+                range_predicate("orders", "o_totalprice", "<="),
+            ],
+            order_by=ColumnRef("orders", "o_orderdate"),
+        ),
+        # Plan-stable template: no index on either predicate column, so
+        # the optimal plan is a sequential scan at every instance.  Such
+        # queries populate the paper's Figure 15 (sequences where
+        # Optimize-Once already achieves MSO < 2).
+        QueryTemplate(
+            name="tpch_stable_scan",
+            database="tpch",
+            tables=["lineitem"],
+            parameterized=[
+                range_predicate("lineitem", "l_quantity", "<="),
+                range_predicate("lineitem", "l_discount", "<="),
+            ],
+            aggregation=AggregationKind.COUNT,
+        ),
+        # 5-dimensional variant across three relations.
+        QueryTemplate(
+            name="tpch_five_dim",
+            database="tpch",
+            tables=["customer", "orders", "lineitem"],
+            joins=[
+                join("orders", "o_custkey", "customer", "c_custkey"),
+                join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+            ],
+            parameterized=[
+                range_predicate("customer", "c_acctbal", "<="),
+                range_predicate("orders", "o_totalprice", "<="),
+                range_predicate("orders", "o_orderdate", ">="),
+                range_predicate("lineitem", "l_quantity", "<="),
+                range_predicate("lineitem", "l_extendedprice", ">="),
+            ],
+        ),
+    ]
+    return templates
+
+
+def tpcds_templates() -> list[QueryTemplate]:
+    """TPC-DS-like star-join templates (d = 2..6)."""
+    return [
+        # Q18-like: catalog_sales against customer demographics chain.
+        QueryTemplate(
+            name="tpcds_q18_like",
+            database="tpcds",
+            tables=["catalog_sales", "customer", "customer_demographics", "date_dim"],
+            joins=[
+                join("catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk"),
+                join("customer", "c_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+                join("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk"),
+            ],
+            parameterized=[
+                range_predicate("catalog_sales", "cs_quantity", "<="),
+                range_predicate("customer_demographics", "cd_purchase_estimate", "<="),
+                range_predicate("customer", "c_birth_year", ">="),
+            ],
+            aggregation=AggregationKind.GROUP_BY,
+            group_by=ColumnRef("date_dim", "d_year"),
+        ),
+        # Q25-like: store_sales star with item and store.
+        QueryTemplate(
+            name="tpcds_q25_like",
+            database="tpcds",
+            tables=["store_sales", "item", "store", "date_dim"],
+            joins=[
+                join("store_sales", "ss_item_sk", "item", "i_item_sk"),
+                join("store_sales", "ss_store_sk", "store", "s_store_sk"),
+                join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"),
+            ],
+            parameterized=[
+                range_predicate("store_sales", "ss_net_profit", ">="),
+                range_predicate("item", "i_current_price", "<="),
+                range_predicate("store_sales", "ss_sales_price", "<="),
+            ],
+        ),
+        # Promotion analysis, d = 4.
+        QueryTemplate(
+            name="tpcds_promo_analysis",
+            database="tpcds",
+            tables=["store_sales", "promotion", "item"],
+            joins=[
+                join("store_sales", "ss_promo_sk", "promotion", "p_promo_sk"),
+                join("store_sales", "ss_item_sk", "item", "i_item_sk"),
+            ],
+            parameterized=[
+                range_predicate("store_sales", "ss_quantity", "<="),
+                range_predicate("promotion", "p_cost", "<="),
+                range_predicate("item", "i_wholesale_cost", "<="),
+                range_predicate("store_sales", "ss_wholesale_cost", ">="),
+            ],
+            aggregation=AggregationKind.COUNT,
+        ),
+        # Cross-channel fact comparison, d = 6.
+        QueryTemplate(
+            name="tpcds_six_dim",
+            database="tpcds",
+            tables=["store_sales", "item", "customer", "date_dim"],
+            joins=[
+                join("store_sales", "ss_item_sk", "item", "i_item_sk"),
+                join("store_sales", "ss_customer_sk", "customer", "c_customer_sk"),
+                join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"),
+            ],
+            parameterized=[
+                range_predicate("store_sales", "ss_quantity", "<="),
+                range_predicate("store_sales", "ss_sales_price", "<="),
+                range_predicate("store_sales", "ss_net_profit", ">="),
+                range_predicate("item", "i_current_price", "<="),
+                range_predicate("item", "i_wholesale_cost", ">="),
+                range_predicate("customer", "c_birth_year", ">="),
+            ],
+        ),
+        # Plan-stable fact-only template (no usable index): another
+        # Figure 15 "easy" query where one plan serves every instance.
+        QueryTemplate(
+            name="tpcds_stable_scan",
+            database="tpcds",
+            tables=["store_sales"],
+            parameterized=[
+                range_predicate("store_sales", "ss_quantity", "<="),
+                range_predicate("store_sales", "ss_net_profit", ">="),
+            ],
+            aggregation=AggregationKind.COUNT,
+        ),
+        # Catalog-side 2-d template.
+        QueryTemplate(
+            name="tpcds_catalog_simple",
+            database="tpcds",
+            tables=["catalog_sales", "item"],
+            joins=[join("catalog_sales", "cs_item_sk", "item", "i_item_sk")],
+            parameterized=[
+                range_predicate("catalog_sales", "cs_sales_price", "<="),
+                range_predicate("item", "i_current_price", ">="),
+            ],
+        ),
+    ]
+
+
+def rd1_templates() -> list[QueryTemplate]:
+    """Deep-join templates over the normalized rd1 schema (d = 2..5)."""
+    return [
+        QueryTemplate(
+            name="rd1_order_value_chain",
+            database="rd1",
+            tables=["account", "contract", "order_hdr", "order_line"],
+            joins=[
+                join("contract", "k_account", "account", "a_id"),
+                join("order_hdr", "o_contract", "contract", "k_id"),
+                join("order_line", "ol_order", "order_hdr", "o_id"),
+            ],
+            parameterized=[
+                range_predicate("account", "a_balance", ">="),
+                range_predicate("contract", "k_value", "<="),
+                range_predicate("order_hdr", "o_amount", "<="),
+            ],
+        ),
+        QueryTemplate(
+            name="rd1_full_chain",
+            database="rd1",
+            tables=["tenant", "account", "contract", "order_hdr", "order_line", "item_cat"],
+            joins=[
+                join("account", "a_tenant", "tenant", "t_id"),
+                join("contract", "k_account", "account", "a_id"),
+                join("order_hdr", "o_contract", "contract", "k_id"),
+                join("order_line", "ol_order", "order_hdr", "o_id"),
+                join("order_line", "ol_item", "item_cat", "ic_id"),
+            ],
+            parameterized=[
+                range_predicate("account", "a_age_days", "<="),
+                range_predicate("order_hdr", "o_date", ">="),
+            ],
+            aggregation=AggregationKind.COUNT,
+        ),
+        QueryTemplate(
+            name="rd1_shipping_delays",
+            database="rd1",
+            tables=["order_hdr", "shipment", "contract"],
+            joins=[
+                join("shipment", "sh_order", "order_hdr", "o_id"),
+                join("order_hdr", "o_contract", "contract", "k_id"),
+            ],
+            parameterized=[
+                range_predicate("shipment", "sh_delay_days", ">="),
+                range_predicate("order_hdr", "o_amount", ">="),
+                range_predicate("shipment", "sh_cost", "<="),
+                range_predicate("contract", "k_value", ">="),
+            ],
+        ),
+        QueryTemplate(
+            name="rd1_line_pricing",
+            database="rd1",
+            tables=["order_line", "item_cat", "order_hdr"],
+            joins=[
+                join("order_line", "ol_item", "item_cat", "ic_id"),
+                join("order_line", "ol_order", "order_hdr", "o_id"),
+            ],
+            parameterized=[
+                range_predicate("order_line", "ol_price", "<="),
+                range_predicate("order_line", "ol_qty", ">="),
+                range_predicate("item_cat", "ic_list_price", "<="),
+                range_predicate("item_cat", "ic_weight", "<="),
+                range_predicate("order_hdr", "o_amount", "<="),
+            ],
+        ),
+    ]
+
+
+def rd2_templates() -> list[QueryTemplate]:
+    """High-dimensional templates over the wide rd2 fact (d = 5..10)."""
+    def fact_preds(count: int, ops: str = "<=") -> list:
+        return [range_predicate("fact_wide", f"f_m{i}", ops) for i in range(count)]
+
+    return [
+        QueryTemplate(
+            name="rd2_five_dim",
+            database="rd2",
+            tables=["fact_wide", "dim_entity"],
+            joins=[join("fact_wide", "f_entity", "dim_entity", "e_id")],
+            parameterized=fact_preds(4) + [
+                range_predicate("dim_entity", "e_score", "<="),
+            ],
+        ),
+        QueryTemplate(
+            name="rd2_seven_dim",
+            database="rd2",
+            tables=["fact_wide", "dim_entity", "dim_period"],
+            joins=[
+                join("fact_wide", "f_entity", "dim_entity", "e_id"),
+                join("fact_wide", "f_period", "dim_period", "p_id"),
+            ],
+            parameterized=fact_preds(6) + [
+                range_predicate("dim_entity", "e_score", ">="),
+            ],
+        ),
+        QueryTemplate(
+            name="rd2_ten_dim",
+            database="rd2",
+            tables=["fact_wide", "dim_entity", "dim_channel"],
+            joins=[
+                join("fact_wide", "f_entity", "dim_entity", "e_id"),
+                join("fact_wide", "f_channel", "dim_channel", "ch_id"),
+            ],
+            parameterized=fact_preds(8) + [
+                range_predicate("dim_entity", "e_score", "<="),
+                range_predicate("dim_channel", "ch_spend", "<="),
+            ],
+        ),
+    ]
+
+
+def dimension_sweep_template(d: int) -> QueryTemplate:
+    """An rd2 template with exactly ``d`` parameterized predicates.
+
+    Used by the Figure 12 experiment (numOpt vs d, 2 <= d <= 10).
+    """
+    if not (1 <= d <= 12):
+        raise ValueError("d must be between 1 and 12")
+    preds = []
+    for i in range(min(d, 10)):
+        preds.append(range_predicate("fact_wide", f"f_m{i}", "<="))
+    tables = ["fact_wide", "dim_entity"]
+    joins = [join("fact_wide", "f_entity", "dim_entity", "e_id")]
+    if d > 10:
+        preds.append(range_predicate("dim_entity", "e_score", "<="))
+    if d > 11:
+        tables.append("dim_channel")
+        joins.append(join("fact_wide", "f_channel", "dim_channel", "ch_id"))
+        preds.append(range_predicate("dim_channel", "ch_spend", "<="))
+    return QueryTemplate(
+        name=f"rd2_sweep_d{d}",
+        database="rd2",
+        tables=tables,
+        joins=joins,
+        parameterized=preds,
+    )
+
+
+def seed_templates() -> list[QueryTemplate]:
+    """All hand-written templates across the four databases."""
+    return (
+        tpch_templates() + tpcds_templates() + rd1_templates() + rd2_templates()
+    )

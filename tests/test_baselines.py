@@ -1,0 +1,232 @@
+"""Tests for the baseline online PQO techniques."""
+
+import pytest
+
+from repro.baselines import (
+    Density,
+    Ellipse,
+    OptimizeAlways,
+    OptimizeOnce,
+    PCM,
+    Ranges,
+)
+from repro.baselines.store import BaselinePlanStore
+from repro.engine.api import EngineAPI
+from repro.query.instance import QueryInstance, SelectivityVector
+from repro.workload.generator import instances_for_template
+
+
+def fresh_engine(db, template) -> EngineAPI:
+    from repro.optimizer.optimizer import QueryOptimizer
+
+    optimizer = QueryOptimizer(template, db.stats, db.estimator, db.cost_model)
+    return EngineAPI(template, optimizer, db.estimator)
+
+
+def inst(s1: float, s2: float) -> QueryInstance:
+    return QueryInstance("toy_join", sv=SelectivityVector.of(s1, s2))
+
+
+class TestTrivial:
+    def test_optimize_always_calls_every_time(self, toy_db, toy_template):
+        tech = OptimizeAlways(fresh_engine(toy_db, toy_template))
+        for s in (0.1, 0.1, 0.1):
+            choice = tech.process(inst(s, s))
+            assert choice.used_optimizer
+        assert tech.optimizer_calls == 3
+        assert tech.plans_cached == 0
+
+    def test_optimize_once_reuses_first_plan(self, toy_db, toy_template):
+        tech = OptimizeOnce(fresh_engine(toy_db, toy_template))
+        first = tech.process(inst(0.001, 0.001))
+        second = tech.process(inst(0.9, 0.9))
+        assert first.used_optimizer
+        assert not second.used_optimizer
+        assert second.plan_signature == first.plan_signature
+        assert tech.optimizer_calls == 1
+        assert tech.plans_cached == 1
+
+
+class TestPCM:
+    def test_no_reuse_before_dominating_pair(self, toy_db, toy_template):
+        tech = PCM(fresh_engine(toy_db, toy_template), lam=2.0)
+        # Two incomparable points: no rectangle can be built.
+        assert tech.process(inst(0.1, 0.5)).used_optimizer
+        assert tech.process(inst(0.5, 0.1)).used_optimizer
+        assert tech.process(inst(0.3, 0.3)).used_optimizer
+
+    def test_reuse_inside_rectangle(self, toy_db, toy_template):
+        tech = PCM(fresh_engine(toy_db, toy_template), lam=5.0)
+        tech.process(inst(0.2, 0.2))
+        tech.process(inst(0.3, 0.3))  # dominates, if costs within lambda
+        choice = tech.process(inst(0.25, 0.25))
+        assert not choice.used_optimizer
+        assert choice.check == "rectangle"
+
+    def test_rectangle_requires_cost_within_lambda(self, toy_db, toy_template):
+        tech = PCM(fresh_engine(toy_db, toy_template), lam=1.0 + 1e-6)
+        tech.process(inst(0.01, 0.01))
+        tech.process(inst(0.9, 0.9))  # dominates but cost >> lambda factor
+        choice = tech.process(inst(0.5, 0.5))
+        assert choice.used_optimizer
+
+    def test_guarantee_under_monotonicity(self, toy_db, toy_template):
+        """PCM's inference is lambda-sound when PCM assumption holds."""
+        engine = fresh_engine(toy_db, toy_template)
+        oracle = fresh_engine(toy_db, toy_template)
+        lam = 2.0
+        tech = PCM(engine, lam=lam)
+        violations = 0
+        instances = instances_for_template(toy_template, 150, seed=13)
+        for q in instances:
+            choice = tech.process(q)
+            optimal = oracle.optimize(q.selectivities)
+            so = oracle.recost(choice.shrunken_memo, q.selectivities) / optimal.cost
+            if so > lam * 1.001:
+                violations += 1
+        assert violations <= len(instances) * 0.02
+
+    def test_name(self, toy_db, toy_template):
+        assert PCM(fresh_engine(toy_db, toy_template), lam=2.0).name == "PCM2"
+
+
+class TestEllipse:
+    def test_rejects_bad_delta(self, toy_db, toy_template):
+        with pytest.raises(ValueError):
+            Ellipse(fresh_engine(toy_db, toy_template), delta=1.5)
+
+    def test_pair_needed_before_reuse(self, toy_db, toy_template):
+        tech = Ellipse(fresh_engine(toy_db, toy_template), delta=0.9)
+        first = tech.process(inst(0.2, 0.2))
+        assert first.used_optimizer
+        # Find a second instance with the same optimal plan to create a
+        # focus pair (plan boundaries make specific offsets unreliable).
+        partner = None
+        for step in range(1, 6):
+            s = 0.2 + 0.01 * step
+            choice = tech.process(inst(s, s))
+            if choice.plan_signature == first.plan_signature:
+                partner = s
+                break
+        assert partner is not None, "no same-plan partner found nearby"
+        # A point between the foci is inside the ellipse.
+        mid = (0.2 + partner) / 2
+        choice = tech.process(inst(mid, mid))
+        assert not choice.used_optimizer
+        assert choice.check == "ellipse"
+
+    def test_smaller_delta_inflates_region(self, toy_db, toy_template):
+        results = {}
+        instances = instances_for_template(toy_template, 150, seed=17)
+        for delta in (0.95, 0.5):
+            tech = Ellipse(fresh_engine(toy_db, toy_template), delta=delta)
+            for q in instances:
+                tech.process(q)
+            results[delta] = tech.optimizer_calls
+        assert results[0.5] <= results[0.95]
+
+
+class TestDensity:
+    def test_parameter_validation(self, toy_db, toy_template):
+        engine = fresh_engine(toy_db, toy_template)
+        with pytest.raises(ValueError):
+            Density(engine, radius=0.0)
+        with pytest.raises(ValueError):
+            Density(engine, confidence=0.0)
+        with pytest.raises(ValueError):
+            Density(engine, min_points=0)
+
+    def test_reuse_after_dense_neighborhood(self, toy_db, toy_template):
+        tech = Density(fresh_engine(toy_db, toy_template), radius=0.1,
+                       confidence=0.5, min_points=2)
+        tech.process(inst(0.20, 0.20))
+        tech.process(inst(0.22, 0.22))
+        choice = tech.process(inst(0.21, 0.21))
+        assert not choice.used_optimizer
+        assert choice.check == "density"
+
+    def test_sparse_neighborhood_optimizes(self, toy_db, toy_template):
+        tech = Density(fresh_engine(toy_db, toy_template), radius=0.05)
+        tech.process(inst(0.1, 0.1))
+        choice = tech.process(inst(0.9, 0.9))
+        assert choice.used_optimizer
+
+
+class TestRanges:
+    def test_reuse_within_slack_of_mbr(self, toy_db, toy_template):
+        tech = Ranges(fresh_engine(toy_db, toy_template), slack=0.01)
+        tech.process(inst(0.2, 0.2))
+        choice = tech.process(inst(0.205, 0.205))
+        assert not choice.used_optimizer
+        assert choice.check == "range"
+
+    def test_outside_mbr_optimizes(self, toy_db, toy_template):
+        tech = Ranges(fresh_engine(toy_db, toy_template), slack=0.01)
+        tech.process(inst(0.2, 0.2))
+        assert tech.process(inst(0.5, 0.5)).used_optimizer
+
+    def test_mbr_grows_with_same_plan_instances(self, toy_db, toy_template):
+        tech = Ranges(fresh_engine(toy_db, toy_template), slack=0.01)
+        a = tech.process(inst(0.20, 0.20))
+        b = tech.process(inst(0.30, 0.30))
+        if a.plan_signature == b.plan_signature:
+            # Any point between the two is now inside the MBR.
+            choice = tech.process(inst(0.25, 0.25))
+            assert not choice.used_optimizer
+
+    def test_negative_slack_rejected(self, toy_db, toy_template):
+        with pytest.raises(ValueError):
+            Ranges(fresh_engine(toy_db, toy_template), slack=-0.1)
+
+
+class TestBaselinePlanStore:
+    def test_register_dedupes_by_signature(self, toy_engine):
+        store = BaselinePlanStore()
+        sv = SelectivityVector.of(0.1, 0.1)
+        result = toy_engine.optimize(sv)
+        p1 = store.register(sv, result)
+        p2 = store.register(SelectivityVector.of(0.11, 0.1), result)
+        assert p1.plan_id == p2.plan_id
+        assert store.num_plans == 1
+        assert len(p1.points) == 2
+
+    def test_redundancy_rejection_with_recost(self, toy_engine):
+        """H.6 variant: a near-equivalent new plan is folded into the
+        cheapest stored plan instead of being stored."""
+        store = BaselinePlanStore(lambda_r=5.0)
+        sv1 = SelectivityVector.of(0.1, 0.1)
+        res1 = toy_engine.optimize(sv1)
+        store.register(sv1, res1, toy_engine.recost)
+        # Find a nearby instance with a different optimal plan.
+        for step in range(1, 20):
+            sv2 = SelectivityVector.of(0.1 + step * 0.04, 0.1 + step * 0.04)
+            res2 = toy_engine.optimize(sv2)
+            if res2.plan.signature() != res1.plan.signature():
+                store.register(sv2, res2, toy_engine.recost)
+                break
+        # With a generous lambda_r the second plan should be rejected.
+        assert store.num_plans == 1
+        assert store.plans_rejected_redundant == 1
+
+
+class TestUnboundedSuboptimality:
+    def test_heuristics_can_exceed_two(self, toy_db, toy_template):
+        """Section 3's headline: selectivity-distance heuristics incur
+        unbounded sub-optimality on adversarial-ish workloads."""
+        oracle = fresh_engine(toy_db, toy_template)
+        instances = instances_for_template(toy_template, 250, seed=23)
+        worst = {}
+        for name, factory in (
+            ("ranges", lambda e: Ranges(e, slack=0.05)),
+            ("ellipse", lambda e: Ellipse(e, delta=0.5)),
+        ):
+            tech = factory(fresh_engine(toy_db, toy_template))
+            mso = 1.0
+            for q in instances:
+                choice = tech.process(q)
+                optimal = oracle.optimize(q.selectivities)
+                so = oracle.recost(
+                    choice.shrunken_memo, q.selectivities) / optimal.cost
+                mso = max(mso, so)
+            worst[name] = mso
+        assert max(worst.values()) > 2.0

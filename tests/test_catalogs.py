@@ -1,0 +1,114 @@
+"""Tests for the four benchmark database catalogs and the registry."""
+
+import pytest
+
+from repro.catalog.realworld import rd1_schema, rd2_schema
+from repro.catalog.registry import database_names, get_database
+from repro.catalog.tpcds import tpcds_schema
+from repro.catalog.tpch import tpch_schema
+
+
+class TestTpchSchema:
+    def test_eight_tables(self):
+        schema = tpch_schema()
+        assert len(schema.tables) == 8
+        assert "lineitem" in schema.tables
+
+    def test_row_ratios_follow_tpch(self):
+        schema = tpch_schema()
+        assert schema.table("lineitem").row_count == pytest.approx(
+            4 * schema.table("orders").row_count, rel=0.01
+        )
+        assert schema.table("nation").row_count == 25
+        assert schema.table("region").row_count == 5
+
+    def test_scale_parameter(self):
+        small = tpch_schema(scale=0.1)
+        full = tpch_schema(scale=1.0)
+        assert small.table("orders").row_count < full.table("orders").row_count
+
+    def test_fk_graph_valid(self):
+        schema = tpch_schema()
+        schema.validate()
+        assert schema.foreign_key_between("lineitem", "orders") is not None
+        assert schema.foreign_key_between("orders", "customer") is not None
+
+    def test_skew_applied_to_attribute_columns(self):
+        schema = tpch_schema(skew=1.0)
+        assert schema.table("lineitem").column("l_quantity").skew == 1.0
+        # Keys stay unskewed.
+        assert schema.table("orders").column("o_orderkey").skew == 0.0
+
+    def test_indexes_on_predicate_columns(self):
+        schema = tpch_schema()
+        assert schema.has_index("lineitem", "l_shipdate")
+        assert schema.has_index("orders", "o_custkey")
+
+
+class TestTpcdsSchema:
+    def test_facts_and_dimensions(self):
+        schema = tpcds_schema()
+        assert "store_sales" in schema.tables
+        assert "catalog_sales" in schema.tables
+        assert "date_dim" in schema.tables
+        schema.validate()
+
+    def test_star_fks(self):
+        schema = tpcds_schema()
+        assert schema.foreign_key_between("store_sales", "item") is not None
+        assert schema.foreign_key_between("catalog_sales", "customer") is not None
+
+    def test_demographics_snowflake(self):
+        schema = tpcds_schema()
+        assert schema.foreign_key_between(
+            "customer", "customer_demographics") is not None
+
+
+class TestRealWorldSchemas:
+    def test_rd1_deep_chain(self):
+        schema = rd1_schema()
+        schema.validate()
+        # tenant -> account -> contract -> order_hdr -> order_line: depth 5.
+        chain = [
+            ("account", "tenant"), ("contract", "account"),
+            ("order_hdr", "contract"), ("order_line", "order_hdr"),
+        ]
+        for child, parent in chain:
+            assert schema.foreign_key_between(child, parent) is not None
+
+    def test_rd2_ten_metric_columns(self):
+        schema = rd2_schema()
+        schema.validate()
+        fact = schema.table("fact_wide")
+        metrics = [c for c in fact.columns if c.name.startswith("f_m")]
+        assert len(metrics) == 10
+        assert all(c.skew > 0 for c in metrics)
+
+    def test_rd2_scale(self):
+        assert (rd2_schema(scale=0.1).table("fact_wide").row_count
+                < rd2_schema().table("fact_wide").row_count)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert database_names() == ["rd1", "rd2", "tpcds", "tpch"]
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown database"):
+            get_database("oracle12c")
+
+    def test_memoized(self):
+        a = get_database("tpch", scale=0.1, seed=1)
+        b = get_database("tpch", scale=0.1, seed=1)
+        assert a is b
+
+    def test_distinct_configs_distinct_instances(self):
+        a = get_database("tpch", scale=0.1, seed=1)
+        b = get_database("tpch", scale=0.1, seed=2)
+        assert a is not b
+
+    def test_databases_have_statistics(self):
+        db = get_database("rd1", scale=0.1, seed=1)
+        stats = db.stats.table("order_hdr")
+        assert stats.row_count > 0
+        assert "o_amount" in stats.columns

@@ -1,0 +1,103 @@
+"""Tests for the CLI and ASCII figure rendering."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.harness.figures import bar_chart, line_chart, rows_to_series
+
+
+class TestBarChart:
+    def test_basic(self):
+        text = bar_chart({"SCR2": 4.1, "PCM2": 10.0}, title="plans")
+        lines = text.splitlines()
+        assert lines[0] == "plans"
+        assert "SCR2" in text and "PCM2" in text
+        # PCM's bar is longer than SCR's.
+        scr_line = next(l for l in lines if "SCR2" in l)
+        pcm_line = next(l for l in lines if "PCM2" in l)
+        assert pcm_line.count("#") > scr_line.count("#")
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart({}, title="t")
+
+    def test_log_scale(self):
+        text = bar_chart({"a": 1.0, "b": 1000.0}, log_scale=True)
+        a_line = next(l for l in text.splitlines() if l.startswith("a"))
+        b_line = next(l for l in text.splitlines() if l.startswith("b"))
+        # Log scaling compresses the 1000x gap well below 1000x.
+        assert b_line.count("#") < 20 * max(1, a_line.count("#"))
+
+    def test_zero_values_render(self):
+        text = bar_chart({"x": 0.0, "y": 5.0})
+        assert "0.0" in text
+
+
+class TestLineChart:
+    def test_basic_shape(self):
+        series = {
+            "SCR2": [(250, 11.2), (500, 6.2), (1000, 3.3)],
+            "PCM2": [(250, 70.8), (500, 63.8), (1000, 52.6)],
+        }
+        text = line_chart(series, title="fig11", height=8, width=30)
+        assert "fig11" in text
+        assert "* SCR2" in text and "o PCM2" in text
+        assert "70.80" in text  # y-axis max
+        assert "250" in text and "1000" in text
+
+    def test_empty(self):
+        assert "(no data)" in line_chart({}, title="t")
+
+    def test_single_point(self):
+        text = line_chart({"s": [(1.0, 2.0)]})
+        assert "*" in text
+
+    def test_rows_to_series_pivot(self):
+        rows = [
+            {"technique": "SCR2", "m": 500, "numopt_pct": 6.2},
+            {"technique": "SCR2", "m": 250, "numopt_pct": 11.2},
+            {"technique": "PCM2", "m": 250, "numopt_pct": 70.8},
+        ]
+        series = rows_to_series(rows, "technique", "m", "numopt_pct")
+        assert series["SCR2"] == [(250.0, 11.2), (500.0, 6.2)]  # sorted by x
+        assert len(series["PCM2"]) == 1
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["info"],
+            ["demo", "--m", "10"],
+            ["compare", "--m", "10"],
+            ["plan-diagram", "--grid", "4"],
+            ["experiment", "budget"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "templates" in out
+        assert "tpch" in out
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--m", "30", "--template",
+                     "tpch_promotion_effect"]) == 0
+        out = capsys.readouterr().out
+        assert "MSO" in out
+        assert "plans cached" in out
+
+    def test_plan_diagram_runs(self, capsys):
+        assert main(["plan-diagram", "--template", "tpcds_catalog_simple",
+                     "--grid", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct plans" in out
+
+    def test_plan_diagram_rejects_high_d(self):
+        with pytest.raises(SystemExit, match="2-d"):
+            main(["plan-diagram", "--template", "tpch_shipping_priority"])
+
+    def test_unknown_template(self):
+        with pytest.raises(SystemExit, match="unknown template"):
+            main(["demo", "--template", "nope"])

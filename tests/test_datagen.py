@@ -1,0 +1,122 @@
+"""Tests for repro.catalog.datagen."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.datagen import (
+    _zipf_weights,
+    fk_join_selectivity,
+    generate_column,
+    generate_database,
+    generate_table,
+)
+from repro.catalog.schema import Column, ColumnType, Schema, Table
+
+from conftest import build_toy_schema
+
+
+class TestZipfWeights:
+    def test_uniform_when_skew_zero(self):
+        w = _zipf_weights(10, 0.0)
+        assert np.allclose(w, 0.1)
+
+    def test_sums_to_one(self):
+        w = _zipf_weights(100, 1.2)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_skew_concentrates_mass(self):
+        w = _zipf_weights(100, 1.5)
+        assert w[0] > 10 * w[50]
+
+
+class TestGenerateColumn:
+    def test_int_values_within_domain(self):
+        rng = np.random.default_rng(0)
+        col = Column("x", domain_size=50)
+        values = generate_column(col, 1000, rng)
+        assert values.dtype == np.int64
+        assert values.min() >= 0
+        assert values.max() < 50
+
+    def test_skewed_values_within_domain(self):
+        rng = np.random.default_rng(0)
+        col = Column("x", domain_size=50, skew=1.0)
+        values = generate_column(col, 2000, rng)
+        assert values.min() >= 0 and values.max() < 50
+        # Skew shows up as an uneven histogram.
+        counts = np.bincount(values, minlength=50)
+        assert counts.max() > 4 * max(1, counts[counts > 0].min())
+
+    def test_float_column(self):
+        rng = np.random.default_rng(0)
+        col = Column("x", ColumnType.FLOAT, domain_size=10)
+        values = generate_column(col, 500, rng)
+        assert values.dtype == np.float64
+        assert values.max() < 11.0
+
+    def test_deterministic_given_seed(self):
+        col = Column("x", domain_size=100, skew=0.5)
+        a = generate_column(col, 100, np.random.default_rng(7))
+        b = generate_column(col, 100, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestGenerateTable:
+    def test_primary_key_dense(self):
+        table = Table("t", [Column("pk"), Column("v")], row_count=100,
+                      primary_key="pk")
+        data = generate_table(table, np.random.default_rng(0))
+        assert np.array_equal(data.column("pk"), np.arange(100))
+
+    def test_fk_containment(self):
+        table = Table("t", [Column("fk"), Column("v")], row_count=500)
+        data = generate_table(table, np.random.default_rng(0), {"fk": 30})
+        fk = data.column("fk")
+        assert fk.min() >= 0 and fk.max() < 30
+
+    def test_row_count(self):
+        table = Table("t", [Column("a")], row_count=77)
+        data = generate_table(table, np.random.default_rng(0))
+        assert data.row_count == 77
+
+
+class TestGenerateDatabase:
+    def test_all_tables_present(self):
+        schema = build_toy_schema()
+        db = generate_database(schema, seed=3)
+        assert set(db.tables) == {"orders", "cust"}
+
+    def test_fk_values_reference_live_parents(self):
+        schema = build_toy_schema()
+        db = generate_database(schema, seed=3)
+        fk = db.table("orders").column("o_cust")
+        parents = db.table("cust").column("c_id")
+        assert np.isin(fk, parents).all()
+
+    def test_deterministic(self):
+        schema = build_toy_schema()
+        a = generate_database(schema, seed=9)
+        b = generate_database(schema, seed=9)
+        assert np.array_equal(
+            a.table("orders").column("o_amount"),
+            b.table("orders").column("o_amount"),
+        )
+
+    def test_missing_table_raises(self):
+        schema = build_toy_schema()
+        db = generate_database(schema, seed=3)
+        with pytest.raises(KeyError):
+            db.table("ghost")
+
+    def test_missing_column_raises(self):
+        schema = build_toy_schema()
+        db = generate_database(schema, seed=3)
+        with pytest.raises(KeyError):
+            db.table("orders").column("ghost")
+
+
+def test_fk_join_selectivity_is_inverse_parent_rows():
+    schema = build_toy_schema()
+    fk = schema.foreign_keys[0]
+    sel = fk_join_selectivity(schema, fk)
+    assert sel == pytest.approx(1.0 / schema.table("cust").row_count)

@@ -1,0 +1,122 @@
+"""Tests for drifting workloads and SCR's adaptation to them."""
+
+import pytest
+
+from repro.core.scr import SCR
+from repro.engine.api import EngineAPI
+from repro.workload.drift import DriftingWorkload, Phase, seasonal_workload
+from repro.workload.generator import DEFAULT_BANDS
+
+
+def fresh_engine(db, template) -> EngineAPI:
+    from repro.optimizer.optimizer import QueryOptimizer
+
+    optimizer = QueryOptimizer(template, db.stats, db.estimator, db.cost_model)
+    return EngineAPI(template, optimizer, db.estimator)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="length"):
+            Phase(0, "small")
+        with pytest.raises(ValueError, match="region"):
+            Phase(10, "medium")
+        with pytest.raises(ValueError, match="at least one phase"):
+            DriftingWorkload(dimensions=2, phases=[])
+        with pytest.raises(ValueError, match="out of range"):
+            DriftingWorkload(dimensions=2, phases=[Phase(10, 5)])
+
+    def test_lengths_and_boundaries(self):
+        workload = DriftingWorkload(
+            dimensions=2,
+            phases=[Phase(30, "small"), Phase(20, "large"), Phase(10, 0)],
+        )
+        assert workload.total_length == 60
+        assert workload.phase_boundaries() == [30, 50]
+
+    def test_instances_follow_phase_regions(self):
+        workload = DriftingWorkload(
+            dimensions=2, phases=[Phase(25, "small"), Phase(25, "large")],
+            seed=3,
+        )
+        instances = workload.instances()
+        bands = DEFAULT_BANDS
+        for inst in instances[:25]:
+            assert all(s <= bands.small_high for s in inst.sv)
+        for inst in instances[25:]:
+            assert all(s >= bands.large_low for s in inst.sv)
+
+    def test_dimension_phase(self):
+        workload = DriftingWorkload(
+            dimensions=3, phases=[Phase(20, 1)], seed=1,
+        )
+        bands = DEFAULT_BANDS
+        for inst in workload.instances():
+            assert inst.sv[1] >= bands.large_low
+            assert inst.sv[0] <= bands.small_high
+            assert inst.sv[2] <= bands.small_high
+
+    def test_deterministic(self):
+        a = seasonal_workload(2, phase_length=10, seed=5).instances()
+        b = seasonal_workload(2, phase_length=10, seed=5).instances()
+        assert [i.sv for i in a] == [i.sv for i in b]
+
+
+class TestScrUnderDrift:
+    def test_second_cycle_cheaper_than_first(self, toy_db, toy_template):
+        """Seasonality: once both regimes' plans are cached, recurrence
+        of a regime costs (almost) no new optimizer calls."""
+        workload = seasonal_workload(2, phase_length=80, cycles=2, seed=7)
+        engine = fresh_engine(toy_db, toy_template)
+        scr = SCR(engine, lam=2.0)
+        calls_per_phase = []
+        boundaries = [0] + workload.phase_boundaries() + [workload.total_length]
+        instances = workload.instances(toy_template.name)
+        for start, end in zip(boundaries, boundaries[1:]):
+            before = scr.optimizer_calls
+            for inst in instances[start:end]:
+                scr.process(inst)
+            calls_per_phase.append(scr.optimizer_calls - before)
+        # Cycle 2 (phases 3 and 4) needs far fewer calls than cycle 1.
+        first_cycle = calls_per_phase[0] + calls_per_phase[1]
+        second_cycle = calls_per_phase[2] + calls_per_phase[3]
+        assert second_cycle < 0.5 * first_cycle
+
+    def test_phase_shift_causes_optimizer_burst(self, toy_db, toy_template):
+        """A regime never seen before forces fresh optimizer calls."""
+        workload = DriftingWorkload(
+            dimensions=2,
+            phases=[Phase(80, "small"), Phase(80, "large")],
+            seed=11,
+        )
+        engine = fresh_engine(toy_db, toy_template)
+        scr = SCR(engine, lam=2.0)
+        instances = workload.instances(toy_template.name)
+        for inst in instances[:80]:
+            scr.process(inst)
+        calls_phase1 = scr.optimizer_calls
+        for inst in instances[80:]:
+            scr.process(inst)
+        calls_phase2 = scr.optimizer_calls - calls_phase1
+        # The new regime needs at least one fresh plan.
+        assert calls_phase2 >= 1
+
+    def test_budgeted_scr_survives_drift_with_guarantee(
+        self, toy_db, toy_template
+    ):
+        """Under a tight budget and drift, eviction happens but the
+        λ guarantee holds for every processed instance."""
+        workload = seasonal_workload(2, phase_length=60, cycles=2, seed=13)
+        engine = fresh_engine(toy_db, toy_template)
+        oracle = fresh_engine(toy_db, toy_template)
+        scr = SCR(engine, lam=2.0, plan_budget=2, lambda_r=1.0)
+        violations = 0
+        for inst in workload.instances(toy_template.name):
+            choice = scr.process(inst)
+            truth = oracle.optimize(inst.selectivities)
+            so = oracle.recost(
+                choice.shrunken_memo, inst.selectivities) / truth.cost
+            if so > 2.0 * 1.001:
+                violations += 1
+        assert scr.plans_cached <= 2
+        assert violations <= workload.total_length * 0.02

@@ -1,0 +1,68 @@
+"""Tests for the engine façade and API accounting."""
+
+import pytest
+
+from repro.engine.api import ApiAccounting, EngineAPI, EngineCounters
+from repro.engine.database import Database
+from repro.query.instance import QueryInstance, SelectivityVector
+from repro.query.template import QueryTemplate, range_predicate
+
+from conftest import build_toy_schema
+
+
+class TestApiAccounting:
+    def test_record_and_mean(self):
+        acc = ApiAccounting()
+        acc.record(0.5)
+        acc.record(1.5)
+        assert acc.calls == 2
+        assert acc.mean_seconds == pytest.approx(1.0)
+
+    def test_mean_of_empty(self):
+        assert ApiAccounting().mean_seconds == 0.0
+
+    def test_speedup_edge_cases(self):
+        counters = EngineCounters()
+        assert counters.recost_speedup == 0.0
+        counters.optimize.record(1.0)
+        assert counters.recost_speedup == float("inf")
+
+
+class TestEngineApi:
+    def test_selectivity_vector_counted(self, toy_engine):
+        toy_engine.reset_counters()
+        inst = QueryInstance("toy_join", sv=SelectivityVector.of(0.5, 0.5))
+        sv = toy_engine.selectivity_vector(inst)
+        assert sv == SelectivityVector.of(0.5, 0.5)
+        assert toy_engine.counters.selectivity.calls == 1
+
+    def test_optimize_and_recost_counted(self, toy_engine):
+        toy_engine.reset_counters()
+        result = toy_engine.optimize(SelectivityVector.of(0.2, 0.2))
+        toy_engine.recost(result.shrunken_memo, SelectivityVector.of(0.3, 0.3))
+        assert toy_engine.counters.optimize.calls == 1
+        assert toy_engine.counters.recost.calls == 1
+        assert toy_engine.counters.optimize.total_seconds > 0
+
+    def test_reset(self, toy_engine):
+        toy_engine.optimize(SelectivityVector.of(0.2, 0.2))
+        toy_engine.reset_counters()
+        assert toy_engine.counters.optimize.calls == 0
+
+
+class TestDatabase:
+    def test_engine_cached_per_template(self, toy_db, toy_template):
+        assert toy_db.engine(toy_template) is toy_db.engine(toy_template)
+
+    def test_template_database_mismatch(self, toy_db):
+        other = QueryTemplate(
+            name="wrong_db", database="tpch", tables=["orders"],
+            parameterized=[range_predicate("orders", "o_date", "<=")],
+        )
+        with pytest.raises(ValueError, match="targets database"):
+            toy_db.engine(other)
+
+    def test_create_builds_statistics(self):
+        db = Database.create(build_toy_schema(), seed=1)
+        assert db.stats.row_count("orders") == 20_000
+        assert db.name == "toy"

@@ -1,0 +1,146 @@
+"""Smoke tests for every per-figure experiment (structure + sanity).
+
+Each experiment is exercised at tiny scale; the assertions check the
+*shape* of the output (the full-scale shape claims live in the
+benchmarks and EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    ExperimentConfig,
+    Experiments,
+    standard_factories,
+)
+from repro.workload.suite import SuiteConfig
+from repro.workload.templates import seed_templates
+
+
+@pytest.fixture(scope="module")
+def experiments() -> Experiments:
+    return Experiments(ExperimentConfig.smoke())
+
+
+@pytest.fixture(scope="module")
+def small_template():
+    return next(t for t in seed_templates() if t.dimensions == 2)
+
+
+def test_standard_factories_lineup():
+    factories = standard_factories(2.0)
+    assert set(factories) == {
+        "OptOnce", "PCM2", "Ellipse", "Density", "Ranges", "SCR2"
+    }
+
+
+def test_suite_results_cached(experiments):
+    a = experiments.suite_results({"OptOnce": standard_factories()["OptOnce"]})
+    b = experiments.suite_results({"OptOnce": standard_factories()["OptOnce"]})
+    assert a["OptOnce"] is b["OptOnce"]
+
+
+def test_suboptimality_distributions(experiments):
+    dists = experiments.suboptimality_distributions(["OptOnce", "SCR2"])
+    for name, series in dists.items():
+        tcs = series["total_cost_ratio"]
+        assert tcs == sorted(tcs)
+        assert len(tcs) == len(series["mso"])
+        assert all(m >= t - 1e9 for m, t in zip(series["mso"], tcs))
+
+
+def test_lambda_sweep_monotone_numopt(experiments):
+    rows = experiments.lambda_sweep(lambdas=(1.1, 2.0))
+    assert rows[0]["lambda"] == 1.1
+    # Larger lambda -> fewer optimizer calls and fewer plans on average.
+    assert rows[1]["numopt_mean"] <= rows[0]["numopt_mean"] + 1e-9
+    assert rows[1]["numplans_mean"] <= rows[0]["numplans_mean"] + 1e-9
+    # TC stays below the bound.
+    for row in rows:
+        assert row["tc_mean"] <= row["lambda"]
+
+
+def test_technique_aggregates_structure(experiments):
+    rows = experiments.technique_aggregates()
+    names = {row["technique"] for row in rows}
+    assert "SCR2" in names and "OptOnce" in names
+    scr = next(r for r in rows if r["technique"] == "SCR2")
+    once = next(r for r in rows if r["technique"] == "OptOnce")
+    # The paper's headline orderings at any scale:
+    assert scr["mso_mean"] < once["mso_mean"]
+    assert scr["numplans_mean"] >= 1.0
+
+
+def test_numopt_vs_m_decreases(experiments, small_template):
+    rows = experiments.numopt_vs_m(
+        small_template, lengths=(50, 200),
+        factories={"SCR2": lambda e: __import__("repro.core.scr",
+                   fromlist=["SCR"]).SCR(e, lam=2.0)},
+    )
+    by_m = {row["m"]: row["numopt_pct"] for row in rows}
+    assert by_m[200] <= by_m[50]
+
+
+def test_numopt_vs_dimensions_structure(experiments):
+    rows = experiments.numopt_vs_dimensions(dims=(2, 4), m=60)
+    techs = {row["technique"] for row in rows}
+    assert techs == {"SCR2", "PCM2"}
+    for row in rows:
+        assert 0 <= row["numopt_pct"] <= 100
+
+
+def test_easy_sequence_comparison(experiments):
+    rows = experiments.easy_sequence_comparison()
+    # May legitimately be empty if no sequence is OptOnce-easy at smoke
+    # scale; when present, every row carries the three fields.
+    for row in rows:
+        assert row["sequences"] >= 1
+        assert row["numplans_mean"] >= 0
+
+
+def test_plan_budget_sweep(experiments):
+    rows = experiments.plan_budget_sweep(budgets=(None, 2))
+    assert rows[0]["k"] == "unbounded"
+    assert rows[1]["k"] == "2"
+    assert rows[1]["numplans_mean"] <= 2.0 + 1e-9
+    # Tight budgets cannot reduce optimizer calls.
+    assert rows[1]["numopt_mean"] >= rows[0]["numopt_mean"] - 1e-9
+
+
+def test_random_ordering_overheads(experiments):
+    rows = experiments.random_ordering_overheads()
+    assert {row["technique"] for row in rows} >= {"SCR2", "OptOnce"}
+
+
+def test_recost_augmented_baselines(experiments):
+    rows = experiments.recost_augmented_baselines()
+    by_name = {row["technique"]: row for row in rows}
+    # H.6: the redundancy check reduces stored plans for each heuristic.
+    for base in ("Ellipse", "Density", "Ranges"):
+        assert by_name[f"{base}+R"]["numplans_mean"] <= (
+            by_name[base]["numplans_mean"] + 1e-9
+        )
+
+
+def test_dynamic_lambda_experiment(experiments, small_template):
+    rows = experiments.dynamic_lambda_experiment(small_template, m=120)
+    modes = {row["mode"] for row in rows}
+    assert modes == {"static", "dynamic"}
+    static = next(r for r in rows if r["mode"] == "static")
+    dynamic = next(r for r in rows if r["mode"] == "dynamic")
+    assert dynamic["numopt"] <= static["numopt"]
+
+
+def test_lambda_r_sweep(experiments, small_template):
+    rows = experiments.lambda_r_sweep(
+        small_template, m=150, lam=1.2, lambda_rs=(1.0, None)
+    )
+    keep_all = rows[0]
+    sqrt_rule = rows[1]
+    assert sqrt_rule["numplans"] <= keep_all["numplans"]
+
+
+def test_getplan_overheads(experiments, small_template):
+    rows = experiments.getplan_overheads(small_template, m=150, lam=1.2)
+    naive, pruned, full = rows
+    assert pruned["max_recosts_per_getplan"] <= naive["max_recosts_per_getplan"]
+    assert full["numplans"] <= pruned["numplans"]

@@ -1,0 +1,243 @@
+"""Tests for the extension features: eviction policies, candidate
+orderings, the spatial index, offline seeding and tracing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.get_plan import CandidateOrder
+from repro.core.manage_cache import EvictionPolicy
+from repro.core.plan_cache import InstanceEntry, PlanCache
+from repro.core.scr import SCR
+from repro.core.seeding import grid_points, random_points, seed_cache
+from repro.core.spatial_index import InstanceGridIndex
+from repro.engine.api import EngineAPI
+from repro.engine.tracing import TraceEvent, TraceEventKind, TraceLog
+from repro.query.instance import QueryInstance, SelectivityVector
+from repro.workload.generator import instances_for_template
+
+sel = st.floats(min_value=1e-3, max_value=1.0)
+
+
+def fresh_engine(db, template) -> EngineAPI:
+    from repro.optimizer.optimizer import QueryOptimizer
+
+    optimizer = QueryOptimizer(template, db.stats, db.estimator, db.cost_model)
+    return EngineAPI(template, optimizer, db.estimator)
+
+
+class TestEvictionPolicies:
+    def _run(self, db, template, policy, instances):
+        scr = SCR(
+            fresh_engine(db, template), lam=1.1, plan_budget=2,
+            lambda_r=1.0, eviction_policy=policy,
+        )
+        for inst in instances:
+            scr.process(inst)
+        return scr
+
+    @pytest.mark.parametrize("policy", list(EvictionPolicy))
+    def test_budget_respected_under_all_policies(self, toy_db, toy_template,
+                                                 policy):
+        instances = instances_for_template(toy_template, 120, seed=31)
+        scr = self._run(toy_db, toy_template, policy, instances)
+        assert scr.plans_cached <= 2
+        assert scr.manage_cache.stats.plans_evicted >= 1
+
+    def test_lru_clock_advances_on_hits(self, toy_db, toy_template):
+        scr = SCR(fresh_engine(toy_db, toy_template), lam=2.0)
+        scr.process(QueryInstance("t", sv=SelectivityVector.of(0.2, 0.2)))
+        plan = scr.cache.plans()[0]
+        tick_before = plan.last_used_tick
+        scr.process(QueryInstance("t", sv=SelectivityVector.of(0.21, 0.21)))
+        assert plan.last_used_tick > tick_before
+
+    def test_lru_victim_is_least_recent(self, toy_engine):
+        cache = PlanCache()
+        res_a = toy_engine.optimize(SelectivityVector.of(0.001, 0.001))
+        res_b = toy_engine.optimize(SelectivityVector.of(0.9, 0.9))
+        plan_a = cache.add_plan(res_a.plan, res_a.shrunken_memo)
+        plan_b = cache.add_plan(res_b.plan, res_b.shrunken_memo)
+        cache.touch(plan_a.plan_id)
+        assert cache.lru_plan().plan_id == plan_b.plan_id
+        cache.touch(plan_b.plan_id)
+        assert cache.lru_plan().plan_id == plan_a.plan_id
+
+
+class TestCandidateOrders:
+    @pytest.mark.parametrize("order", list(CandidateOrder))
+    def test_all_orders_run_and_keep_guarantee(self, toy_db, toy_template,
+                                               order):
+        engine = fresh_engine(toy_db, toy_template)
+        oracle = fresh_engine(toy_db, toy_template)
+        scr = SCR(engine, lam=2.0, candidate_order=order)
+        violations = 0
+        instances = instances_for_template(toy_template, 100, seed=37)
+        for inst in instances:
+            choice = scr.process(inst)
+            optimal = oracle.optimize(inst.selectivities)
+            so = oracle.recost(
+                choice.shrunken_memo, inst.selectivities) / optimal.cost
+            if so > 2.0 * 1.001:
+                violations += 1
+        assert violations <= 2
+
+
+class TestInstanceGridIndex:
+    def _entry(self, sv, plan_id=0) -> InstanceEntry:
+        return InstanceEntry(
+            sv=sv, plan_id=plan_id, optimal_cost=1.0, suboptimality=1.0
+        )
+
+    def test_add_and_count(self):
+        index = InstanceGridIndex()
+        index.add(self._entry(SelectivityVector.of(0.1, 0.1)))
+        index.add(self._entry(SelectivityVector.of(0.5, 0.5)))
+        assert len(index) == 2
+        assert index.occupied_cells == 2
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            InstanceGridIndex(cell_log_width=0.0)
+
+    def test_near_finds_close_entries(self):
+        index = InstanceGridIndex()
+        close = self._entry(SelectivityVector.of(0.10, 0.10))
+        far = self._entry(SelectivityVector.of(0.0011, 0.9))
+        index.add(close)
+        index.add(far)
+        found = list(index.near(SelectivityVector.of(0.12, 0.11), 0.7))
+        assert close in found
+        assert far not in found
+
+    @settings(max_examples=60, deadline=None)
+    @given(s1=sel, s2=sel, t1=sel, t2=sel,
+           lam=st.floats(min_value=1.05, max_value=3.0))
+    def test_property_near_superset_of_gl_ball(self, s1, s2, t1, t2, lam):
+        """Soundness: any anchor with GL <= lam must be returned by
+        near(query, ln lam)."""
+        import math
+
+        from repro.core.bounds import compute_gl
+
+        index = InstanceGridIndex()
+        anchor = self._entry(SelectivityVector.of(s1, s2))
+        index.add(anchor)
+        query = SelectivityVector.of(t1, t2)
+        g, l = compute_gl(anchor.sv, query)
+        if g * l <= lam:
+            assert anchor in list(index.near(query, math.log(lam)))
+
+    def test_remove_plan(self):
+        index = InstanceGridIndex()
+        index.add(self._entry(SelectivityVector.of(0.1, 0.1), plan_id=1))
+        index.add(self._entry(SelectivityVector.of(0.1, 0.1), plan_id=2))
+        removed = index.remove_plan(1)
+        assert removed == 1
+        assert len(index) == 1
+
+
+class TestIndexedScr:
+    def test_indexed_scr_keeps_guarantee(self, toy_db, toy_template):
+        engine = fresh_engine(toy_db, toy_template)
+        oracle = fresh_engine(toy_db, toy_template)
+        scr = SCR(engine, lam=2.0, spatial_index=True)
+        violations = 0
+        instances = instances_for_template(toy_template, 120, seed=41)
+        for inst in instances:
+            choice = scr.process(inst)
+            optimal = oracle.optimize(inst.selectivities)
+            so = oracle.recost(
+                choice.shrunken_memo, inst.selectivities) / optimal.cost
+            if so > 2.0 * 1.001:
+                violations += 1
+        assert violations <= 2
+
+    def test_index_stays_synced_with_cache(self, toy_db, toy_template):
+        scr = SCR(fresh_engine(toy_db, toy_template), lam=1.1,
+                  spatial_index=True, plan_budget=2, lambda_r=1.0)
+        for inst in instances_for_template(toy_template, 100, seed=43):
+            scr.process(inst)
+        assert len(scr.get_plan.index) == scr.cache.num_instances
+
+    def test_indexed_numopt_close_to_plain(self, toy_db, toy_template):
+        instances = instances_for_template(toy_template, 200, seed=47)
+        results = {}
+        for use_index in (False, True):
+            scr = SCR(fresh_engine(toy_db, toy_template), lam=2.0,
+                      spatial_index=use_index)
+            for inst in instances:
+                scr.process(inst)
+            results[use_index] = scr.optimizer_calls
+        # The index may lose some reuse (bounded neighborhood) but must
+        # stay in the same ballpark.
+        assert results[True] <= results[False] * 3 + 5
+
+
+class TestSeeding:
+    def test_grid_points_shape(self):
+        points = grid_points(2, 4)
+        assert len(points) == 16
+        assert all(len(p) == 2 for p in points)
+        with pytest.raises(ValueError):
+            grid_points(2, 0)
+
+    def test_random_points_deterministic(self):
+        a = random_points(3, 10, seed=1)
+        b = random_points(3, 10, seed=1)
+        assert a == b
+
+    def test_seeding_reduces_online_calls(self, toy_db, toy_template):
+        instances = instances_for_template(toy_template, 150, seed=53)
+
+        cold = SCR(fresh_engine(toy_db, toy_template), lam=2.0)
+        for inst in instances:
+            cold.process(inst)
+
+        warm_engine = fresh_engine(toy_db, toy_template)
+        warm = SCR(warm_engine, lam=2.0)
+        report = seed_cache(warm, warm_engine, grid_points(2, 5))
+        online_before = warm_engine.counters.optimize.calls
+        for inst in instances:
+            warm.process(inst)
+        online_calls = warm_engine.counters.optimize.calls - online_before
+
+        assert report.points_optimized > 0
+        assert report.plans_seeded >= 1
+        assert online_calls < cold.optimizer_calls
+
+    def test_seeding_respects_redundancy_check(self, toy_db, toy_template):
+        engine = fresh_engine(toy_db, toy_template)
+        scr = SCR(engine, lam=2.0)
+        report = seed_cache(scr, engine, grid_points(2, 6))
+        # The lambda_r check must anorex the 36-point grid down well
+        # below one plan per point.
+        assert scr.cache.num_plans < report.points_optimized
+
+
+class TestTraceLog:
+    def test_record_and_counts(self):
+        log = TraceLog()
+        log.decision(0, "selectivity", "sigA")
+        log.decision(1, "optimizer", "sigB")
+        log.decision(2, "selectivity", "sigA")
+        assert len(log) == 3
+        assert log.check_counts() == {"selectivity": 2, "optimizer": 1}
+
+    def test_disabled_log_records_nothing(self):
+        log = TraceLog(enabled=False)
+        log.decision(0, "cost", "sig")
+        assert len(log) == 0
+
+    def test_api_call_events(self):
+        log = TraceLog()
+        log.api_call(TraceEventKind.OPTIMIZE, 0, 0.01)
+        log.api_call(TraceEventKind.RECOST, 0, 0.0001)
+        assert len(list(log.of_kind(TraceEventKind.OPTIMIZE))) == 1
+
+    def test_summary(self):
+        log = TraceLog()
+        log.decision(0, "cost", "sig", certified_bound=1.4)
+        text = log.summary()
+        assert "1 decisions" in text
+        assert "cost: 1" in text

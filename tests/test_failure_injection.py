@@ -1,0 +1,161 @@
+"""Failure-injection tests: SCR under a misbehaving cost model.
+
+The paper's guarantee is conditional on the BCG assumption; Appendix G
+describes detecting and containing violations.  These tests *inject*
+cost models that break the assumptions — discontinuities, non-monotone
+regions, super-linear growth — and verify that (a) nothing crashes,
+(b) the violation detector notices, and (c) the damage to MSO stays
+localized (the paper's observation that SCR's small regions limit harm).
+"""
+
+import math
+
+import pytest
+
+from repro.core.scr import SCR
+from repro.engine.api import EngineAPI
+from repro.optimizer.cost_model import CostModel, CostParameters
+from repro.optimizer.optimizer import QueryOptimizer
+from repro.query.instance import QueryInstance, SelectivityVector
+from repro.workload.generator import instances_for_template
+
+
+class SpikyCostModel(CostModel):
+    """A cost model with a violent discontinuity in scan costs.
+
+    Below the threshold output size, scans are priced normally; above
+    it they get a large constant penalty — modelling a memory cliff far
+    sharper than BCG's f(α)=α allows.
+    """
+
+    def __init__(self, threshold_rows: float = 2_000.0, penalty: float = 50_000.0):
+        super().__init__(CostParameters())
+        self.threshold_rows = threshold_rows
+        self.penalty = penalty
+
+    def seq_scan(self, table_rows: float, out_rows: float) -> float:
+        base = super().seq_scan(table_rows, out_rows)
+        return base + (self.penalty if out_rows > self.threshold_rows else 0.0)
+
+    def index_scan(self, table_rows: float, out_rows: float) -> float:
+        base = super().index_scan(table_rows, out_rows)
+        return base + (self.penalty if out_rows > self.threshold_rows else 0.0)
+
+
+class NonMonotoneCostModel(CostModel):
+    """Breaks PCM: scan cost *decreases* over a band of output sizes."""
+
+    def seq_scan(self, table_rows: float, out_rows: float) -> float:
+        base = super().seq_scan(table_rows, out_rows)
+        if 1_000.0 < out_rows < 3_000.0:
+            return base * 0.3
+        return base
+
+
+def engine_with(cost_model: CostModel, db, template) -> EngineAPI:
+    optimizer = QueryOptimizer(template, db.stats, db.estimator, cost_model)
+    return EngineAPI(template, optimizer, db.estimator)
+
+
+class TestSpikyCosts:
+    def test_run_completes_and_detector_sees_violations(
+        self, toy_db, toy_template
+    ):
+        engine = engine_with(SpikyCostModel(), toy_db, toy_template)
+        scr = SCR(engine, lam=1.5)
+        for inst in instances_for_template(toy_template, 250, seed=61):
+            scr.process(inst)
+        # The run completes; statistics are coherent.
+        assert scr.instances_processed == 250
+        assert scr.plans_cached >= 1
+        # A discontinuity this size across region boundaries should be
+        # noticed by the Appendix G detector at least occasionally
+        # (cost checks straddling the cliff).
+        assert scr.detector is not None
+
+    def test_mso_damage_bounded_by_penalty_scale(self, toy_db, toy_template):
+        """Even with violations, sub-optimality cannot exceed the
+        injected penalty's relative magnitude by much."""
+        spiky = SpikyCostModel(threshold_rows=2_000.0, penalty=20_000.0)
+        engine = engine_with(spiky, toy_db, toy_template)
+        oracle = engine_with(spiky, toy_db, toy_template)
+        scr = SCR(engine, lam=2.0)
+        worst = 1.0
+        for inst in instances_for_template(toy_template, 200, seed=67):
+            choice = scr.process(inst)
+            truth = oracle.optimize(inst.selectivities)
+            so = oracle.recost(
+                choice.shrunken_memo, inst.selectivities) / truth.cost
+            worst = max(worst, so)
+        # The guarantee can be violated (as the paper observes), but a
+        # reasonable ceiling holds: the cliff is a bounded additive term.
+        assert worst < 50.0
+
+    def test_retired_anchors_stop_bad_inferences(self, toy_db, toy_template):
+        engine = engine_with(SpikyCostModel(), toy_db, toy_template)
+        scr = SCR(engine, lam=1.5, detect_violations=True)
+        for inst in instances_for_template(toy_template, 250, seed=71):
+            scr.process(inst)
+        if scr.detector.anchors_retired:
+            retired = [e for e in scr.cache.instances() if e.retired]
+            assert len(retired) == scr.detector.anchors_retired
+
+
+class TestNonMonotoneCosts:
+    def test_pcm_violations_detectable(self, toy_db, toy_template):
+        engine = engine_with(NonMonotoneCostModel(), toy_db, toy_template)
+        scr = SCR(engine, lam=1.3)
+        for inst in instances_for_template(toy_template, 250, seed=73):
+            scr.process(inst)
+        assert scr.instances_processed == 250
+        # Detector statistics are consistent.
+        det = scr.detector
+        assert det.anchors_retired <= det.violations_detected
+
+
+class TestDetectorDisabled:
+    def test_runs_without_detector(self, toy_db, toy_template):
+        engine = engine_with(SpikyCostModel(), toy_db, toy_template)
+        scr = SCR(engine, lam=1.5, detect_violations=False)
+        for inst in instances_for_template(toy_template, 100, seed=79):
+            scr.process(inst)
+        assert scr.detector is None
+
+
+class TestDegenerateInputs:
+    def test_single_instance_workload(self, toy_db, toy_template):
+        engine = engine_with(CostModel(), toy_db, toy_template)
+        scr = SCR(engine, lam=2.0)
+        choice = scr.process(QueryInstance(
+            "t", sv=SelectivityVector.of(0.5, 0.5)))
+        assert choice.used_optimizer
+        assert scr.plans_cached == 1
+
+    def test_identical_instances_reuse_forever(self, toy_db, toy_template):
+        engine = engine_with(CostModel(), toy_db, toy_template)
+        scr = SCR(engine, lam=1.0 + 1e-12)
+        sv = SelectivityVector.of(0.3, 0.3)
+        for _ in range(20):
+            scr.process(QueryInstance("t", sv=sv))
+        assert scr.optimizer_calls == 1
+
+    def test_extreme_selectivities(self, toy_db, toy_template):
+        engine = engine_with(CostModel(), toy_db, toy_template)
+        scr = SCR(engine, lam=2.0)
+        for sv in (
+            SelectivityVector.of(1e-6, 1e-6),
+            SelectivityVector.of(1.0, 1.0),
+            SelectivityVector.of(1e-6, 1.0),
+        ):
+            choice = scr.process(QueryInstance("t", sv=sv))
+            assert choice.plan_signature
+
+    def test_lambda_exactly_one(self, toy_db, toy_template):
+        """λ=1 demands exact optimality: only identical-sv reuse works."""
+        engine = engine_with(CostModel(), toy_db, toy_template)
+        scr = SCR(engine, lam=1.0)
+        svs = [SelectivityVector.of(0.1 + 0.07 * i, 0.2) for i in range(8)]
+        for sv in svs:
+            scr.process(QueryInstance("t", sv=sv))
+        # Different selectivities -> everything optimizes.
+        assert scr.optimizer_calls == len(svs)

@@ -1,0 +1,114 @@
+"""Cross-module integration tests on realistic templates.
+
+These run the full stack — catalog, statistics, optimizer, SCR,
+baselines, harness — over the benchmark databases, verifying the
+paper's qualitative claims end-to-end at small scale.
+"""
+
+import pytest
+
+from repro.baselines import PCM, Ellipse, OptimizeOnce, Ranges
+from repro.core.scr import SCR
+from repro.harness.runner import SequenceSpec, WorkloadRunner
+from repro.workload.orderings import Ordering
+from repro.workload.templates import (
+    rd2_templates,
+    seed_templates,
+    tpcds_templates,
+    tpch_templates,
+)
+
+
+@pytest.fixture(scope="module")
+def runner() -> WorkloadRunner:
+    return WorkloadRunner(db_scale=0.25)
+
+
+def run(runner, template, factory, m=120, ordering=Ordering.RANDOM, lam=None):
+    spec = SequenceSpec(template=template, m=m, ordering=ordering, seed=1)
+    return runner.run(spec, factory, lam=lam)
+
+
+class TestScrGuaranteeAcrossDatabases:
+    @pytest.mark.parametrize("template", [
+        tpch_templates()[0],
+        tpcds_templates()[1],
+    ], ids=lambda t: t.name)
+    def test_scr2_bounded_suboptimality(self, runner, template):
+        result = run(runner, template, lambda e: SCR(e, lam=2.0), lam=2.0)
+        # Bound holds modulo rare BCG violations (<= 2% of instances).
+        assert result.violations(2.0) <= result.m * 0.02
+        assert result.total_cost_ratio < 2.0
+
+    def test_scr_on_high_dimensional_template(self, runner):
+        template = next(t for t in rd2_templates() if t.dimensions == 5)
+        result = run(runner, template, lambda e: SCR(e, lam=2.0), m=150, lam=2.0)
+        assert result.violations(2.0) <= result.m * 0.02
+        assert result.num_plans < result.num_opt + 1
+
+
+class TestHeadlineComparisons:
+    """Section 7's qualitative orderings at reduced scale."""
+
+    @pytest.fixture(scope="class")
+    def results(self, runner):
+        template = tpch_templates()[0]
+        out = {}
+        for name, factory in (
+            ("SCR2", lambda e: SCR(e, lam=2.0)),
+            ("PCM2", lambda e: PCM(e, lam=2.0)),
+            ("Ellipse", lambda e: Ellipse(e, delta=0.9)),
+            ("Ranges", lambda e: Ranges(e, slack=0.01)),
+            ("OptOnce", OptimizeOnce),
+        ):
+            out[name] = run(runner, template, factory, m=250)
+        return out
+
+    def test_scr_beats_pcm_on_optimizer_calls(self, results):
+        assert results["SCR2"].num_opt < results["PCM2"].num_opt
+
+    def test_scr_mso_bounded_heuristics_not(self, results):
+        heuristic_worst = max(
+            results["Ellipse"].mso, results["Ranges"].mso, results["OptOnce"].mso
+        )
+        assert results["SCR2"].mso <= 2.0 * 1.02
+        assert heuristic_worst > 2.0
+
+    def test_scr_stores_fewest_plans_among_multiplan(self, results):
+        for other in ("PCM2", "Ellipse", "Ranges"):
+            assert results["SCR2"].num_plans <= results[other].num_plans
+
+    def test_pcm_plan_quality_excellent(self, results):
+        assert results["PCM2"].total_cost_ratio < 1.2
+
+
+class TestOrderingRobustness:
+    def test_scr_stable_across_orderings(self, runner):
+        """H.5: SCR's overheads are similar across arrival orders."""
+        template = tpch_templates()[0]
+        rates = []
+        for ordering in Ordering:
+            result = run(runner, template, lambda e: SCR(e, lam=2.0),
+                         m=150, ordering=ordering)
+            rates.append(result.num_opt_percent)
+        assert max(rates) - min(rates) < 40.0
+
+    def test_decreasing_cost_hurts_pcm(self, runner):
+        """Section 7.3: reverse-cost order starves PCM of rectangles."""
+        template = tpch_templates()[0]
+        random_r = run(runner, template, lambda e: PCM(e, lam=2.0),
+                       m=150, ordering=Ordering.RANDOM)
+        reverse_r = run(runner, template, lambda e: PCM(e, lam=2.0),
+                        m=150, ordering=Ordering.DECREASING_COST)
+        assert reverse_r.num_opt >= random_r.num_opt * 0.9
+
+
+class TestAllSeedTemplatesOptimize:
+    @pytest.mark.parametrize("template", seed_templates(), ids=lambda t: t.name)
+    def test_template_end_to_end(self, runner, template):
+        """Every seed template optimizes, recosts and runs under SCR."""
+        result = run(runner, template, lambda e: SCR(e, lam=2.0), m=30, lam=2.0)
+        assert result.m == 30
+        assert result.num_opt >= 1
+        assert result.num_plans >= 1
+        assert result.mso >= 1.0

@@ -1,0 +1,113 @@
+"""Tests for the evaluation metrics (section 2.1 definitions)."""
+
+import pytest
+
+from repro.harness.metrics import InstanceRecord, MetricAggregate, SequenceResult
+
+
+def record(chosen: float, optimal: float, opt: bool = False,
+           seq: int = 0) -> InstanceRecord:
+    return InstanceRecord(
+        sequence_id=seq, chosen_cost=chosen, optimal_cost=optimal,
+        used_optimizer=opt, check="x",
+    )
+
+
+def make_result(pairs, technique="T") -> SequenceResult:
+    result = SequenceResult(technique=technique, template="q", ordering="random",
+                            lam=2.0)
+    for i, (chosen, optimal, opt) in enumerate(pairs):
+        result.add(record(chosen, optimal, opt, seq=i))
+    return result
+
+
+class TestInstanceRecord:
+    def test_suboptimality(self):
+        assert record(150.0, 100.0).suboptimality == pytest.approx(1.5)
+
+    def test_suboptimality_clamped_at_one(self):
+        # Model noise can make the "chosen" recost dip below optimal.
+        assert record(99.0, 100.0).suboptimality == 1.0
+
+    def test_zero_optimal_rejected(self):
+        with pytest.raises(ValueError):
+            _ = record(1.0, 0.0).suboptimality
+
+
+class TestSequenceResult:
+    def test_mso_is_max(self):
+        result = make_result([(100, 100, True), (300, 100, False),
+                              (150, 100, False)])
+        assert result.mso == pytest.approx(3.0)
+
+    def test_total_cost_ratio_in_range(self):
+        result = make_result([(100, 100, True), (300, 100, False)])
+        tc = result.total_cost_ratio
+        assert 1.0 <= tc <= result.mso
+        assert tc == pytest.approx(400 / 200)
+
+    def test_num_opt(self):
+        result = make_result([(1, 1, True), (1, 1, False), (1, 1, True)])
+        assert result.num_opt == 2
+        assert result.num_opt_percent == pytest.approx(200 / 3)
+
+    def test_violations_counts_beyond_lambda(self):
+        result = make_result([(100, 100, True), (250, 100, False),
+                              (190, 100, False)])
+        assert result.violations(2.0) == 1
+        assert result.violations(1.5) == 2
+
+    def test_running_num_opt_percent(self):
+        result = make_result([(1, 1, True), (1, 1, True), (1, 1, False),
+                              (1, 1, False)])
+        running = result.running_num_opt_percent([2, 4])
+        assert running == [pytest.approx(100.0), pytest.approx(50.0)]
+
+    def test_running_ignores_overlong_prefixes(self):
+        result = make_result([(1, 1, True)])
+        assert result.running_num_opt_percent([1, 5]) == [pytest.approx(100.0)]
+
+    def test_empty_sequence_defaults(self):
+        result = SequenceResult("T", "q", "random", None)
+        assert result.mso == 1.0
+        assert result.total_cost_ratio == 1.0
+        assert result.num_opt_percent == 0.0
+
+
+class TestMetricAggregate:
+    @pytest.fixture()
+    def results(self):
+        out = []
+        for mso_target in (1.0, 2.0, 4.0):
+            out.append(make_result([(100 * mso_target, 100, False),
+                                    (100, 100, True)]))
+        return out
+
+    def test_over_mso(self, results):
+        agg = MetricAggregate.over(results, "mso")
+        assert agg.mean == pytest.approx((1 + 2 + 4) / 3)
+        assert agg.maximum == pytest.approx(4.0)
+
+    def test_over_num_opt(self, results):
+        agg = MetricAggregate.over(results, "num_opt_percent")
+        assert agg.mean == pytest.approx(50.0)
+
+    def test_over_num_plans(self, results):
+        for i, r in enumerate(results):
+            r.num_plans = i + 1
+        agg = MetricAggregate.over(results, "num_plans")
+        assert agg.mean == pytest.approx(2.0)
+
+    def test_percentile(self, results):
+        agg = MetricAggregate.over(results, "mso")
+        assert agg.percentile(0) == pytest.approx(1.0)
+        assert agg.p95 <= agg.maximum
+
+    def test_unknown_metric_rejected(self, results):
+        with pytest.raises(ValueError, match="unknown metric"):
+            MetricAggregate.over(results, "nope")
+
+    def test_empty(self):
+        agg = MetricAggregate.over([], "mso")
+        assert agg.mean == 0.0
+        assert agg.p95 == 0.0

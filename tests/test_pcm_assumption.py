@@ -1,0 +1,92 @@
+"""Property tests of the Plan Cost Monotonicity assumption itself.
+
+PCM (the prior bounded technique) and BCG both build on the assumption
+that *optimal* cost grows monotonically under selectivity dominance.
+Our optimizer should satisfy this essentially everywhere — optimal cost
+is the min over plans, and each plan's cost is monotone in
+cardinalities — which is exactly why PCM's rectangles are sound on this
+substrate.  These properties guard that foundation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.instance import SelectivityVector
+
+sel = st.floats(min_value=1e-3, max_value=1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(s1=sel, s2=sel, f1=st.floats(min_value=1.0, max_value=5.0),
+       f2=st.floats(min_value=1.0, max_value=5.0))
+def test_property_optimal_cost_monotone_under_dominance(
+    toy_engine, s1, s2, f1, f2
+):
+    """If q_b dominates q_a, Copt(q_b) >= Copt(q_a) (PCM)."""
+    a = SelectivityVector.of(s1, s2)
+    b = SelectivityVector.of(min(1.0, s1 * f1), min(1.0, s2 * f2))
+    cost_a = toy_engine.optimize(a).cost
+    cost_b = toy_engine.optimize(b).cost
+    assert cost_b >= cost_a * (1 - 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(s1=sel, s2=sel, alpha=st.floats(min_value=1.0, max_value=10.0))
+def test_property_single_plan_cost_monotone_per_dimension(
+    toy_engine, s1, s2, alpha
+):
+    """A fixed plan's recost is monotone in each selectivity (PCM per
+    plan, not just at the optimum)."""
+    base = SelectivityVector.of(s1, s2)
+    plan = toy_engine.optimize(base).shrunken_memo
+    grown1 = SelectivityVector.of(min(1.0, s1 * alpha), s2)
+    grown2 = SelectivityVector.of(s1, min(1.0, s2 * alpha))
+    cost_base = toy_engine.recost(plan, base)
+    assert toy_engine.recost(plan, grown1) >= cost_base * (1 - 1e-9)
+    assert toy_engine.recost(plan, grown2) >= cost_base * (1 - 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(s1=sel, s2=sel)
+def test_property_optimal_cost_below_every_cached_plan(toy_engine, s1, s2):
+    """Copt is the lower envelope: no plan recosts below it."""
+    target = SelectivityVector.of(s1, s2)
+    optimal = toy_engine.optimize(target).cost
+    for anchor in (
+        SelectivityVector.of(0.001, 0.001),
+        SelectivityVector.of(0.9, 0.9),
+        SelectivityVector.of(0.01, 0.8),
+    ):
+        plan = toy_engine.optimize(anchor).shrunken_memo
+        assert toy_engine.recost(plan, target) >= optimal * (1 - 1e-9)
+
+
+class TestPcmRectangleSoundness:
+    """The PCM inference rule, verified against the engine directly."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(s1=sel, s2=sel, f1=st.floats(min_value=1.05, max_value=3.0),
+           f2=st.floats(min_value=1.05, max_value=3.0),
+           t1=st.floats(min_value=0.0, max_value=1.0),
+           t2=st.floats(min_value=0.0, max_value=1.0))
+    def test_property_rectangle_inference_sound(
+        self, toy_engine, s1, s2, f1, f2, t1, t2
+    ):
+        """If Copt(hi) <= lam * Copt(lo), then hi's plan is lam-optimal
+        anywhere in the [lo, hi] rectangle (the PCM theorem)."""
+        lam = 2.0
+        lo = SelectivityVector.of(s1, s2)
+        hi = SelectivityVector.of(min(1.0, s1 * f1), min(1.0, s2 * f2))
+        res_lo = toy_engine.optimize(lo)
+        res_hi = toy_engine.optimize(hi)
+        if res_hi.cost > lam * res_lo.cost:
+            return  # no rectangle; nothing to check
+        # Interpolate a point inside the rectangle.
+        mid = SelectivityVector.of(
+            lo[0] + t1 * (hi[0] - lo[0]),
+            lo[1] + t2 * (hi[1] - lo[1]),
+        )
+        inferred_cost = toy_engine.recost(res_hi.shrunken_memo, mid)
+        optimal = toy_engine.optimize(mid).cost
+        assert inferred_cost <= lam * optimal * (1 + 1e-6)

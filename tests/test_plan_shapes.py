@@ -1,0 +1,100 @@
+"""Golden plan-shape regression tests for the cost model.
+
+PQO difficulty comes from plan diversity: different optimal plans in
+different selectivity regions, with the crossovers the paper's §5.4
+operator analysis implies (index vs sequential scans, index-nested-
+loops vs hash joins).  These tests pin the qualitative behaviour so
+cost-model changes that would collapse the plan space fail loudly.
+"""
+
+import pytest
+
+from repro.optimizer.operators import PhysicalOp
+from repro.query.instance import SelectivityVector
+from repro.workload.generator import instances_for_template
+from repro.workload.templates import seed_templates, tpch_templates
+
+
+class TestAccessPathCrossover:
+    def test_low_selectivity_prefers_index_scan(self, toy_engine):
+        result = toy_engine.optimize(SelectivityVector.of(0.001, 0.001))
+        scans = [n for n in result.plan.root.nodes() if n.op.is_scan]
+        assert any(n.op is PhysicalOp.INDEX_SCAN for n in scans)
+
+    def test_high_selectivity_prefers_seq_scan(self, toy_engine):
+        result = toy_engine.optimize(SelectivityVector.of(0.95, 0.95))
+        scans = [n for n in result.plan.root.nodes()
+                 if n.op is PhysicalOp.SEQ_SCAN]
+        assert scans, "full scans should win at ~full selectivity"
+
+
+class TestJoinAlgorithmCrossover:
+    def test_small_inputs_prefer_index_nested_loops(self, toy_engine):
+        result = toy_engine.optimize(SelectivityVector.of(0.002, 0.002))
+        joins = [op for op in result.plan.operators() if op.is_join]
+        assert joins[0] in (
+            PhysicalOp.INDEX_NESTED_LOOPS_JOIN, PhysicalOp.MERGE_JOIN
+        )
+
+    def test_large_inputs_prefer_hash_join(self, toy_engine):
+        result = toy_engine.optimize(SelectivityVector.of(0.9, 0.9))
+        joins = [op for op in result.plan.operators() if op.is_join]
+        assert PhysicalOp.HASH_JOIN in joins
+
+    def test_asymmetric_selectivity_flips_probe_side(self, toy_engine):
+        """The filtered side should drive the join strategy: both
+        asymmetric corners must differ from each other structurally."""
+        a = toy_engine.optimize(SelectivityVector.of(0.005, 0.9))
+        b = toy_engine.optimize(SelectivityVector.of(0.9, 0.005))
+        assert a.plan.signature() != b.plan.signature()
+
+
+class TestPlanDiversity:
+    @pytest.mark.parametrize(
+        "template",
+        [t for t in tpch_templates() if len(t.tables) >= 2][:4],
+        ids=lambda t: t.name,
+    )
+    def test_join_templates_have_diverse_plans(self, tpch_db, template):
+        engine = tpch_db.engine(template)
+        signatures = set()
+        for inst in instances_for_template(template, 60, seed=3):
+            signatures.add(engine.optimize(inst.selectivities).plan.signature())
+        assert len(signatures) >= 3, (
+            f"{template.name}: only {len(signatures)} distinct plans — "
+            "the selectivity space has collapsed"
+        )
+
+    def test_stable_template_has_one_plan(self, tpch_db):
+        template = next(
+            t for t in tpch_templates() if t.name == "tpch_stable_scan"
+        )
+        engine = tpch_db.engine(template)
+        signatures = {
+            engine.optimize(inst.selectivities).plan.signature()
+            for inst in instances_for_template(template, 40, seed=3)
+        }
+        assert len(signatures) == 1
+
+
+class TestCostSanity:
+    @pytest.mark.parametrize("template", seed_templates()[:8],
+                             ids=lambda t: t.name)
+    def test_costs_positive_and_finite(self, template):
+        from repro.catalog.registry import get_database
+
+        db = get_database(template.database, scale=0.2, seed=5)
+        engine = db.engine(template)
+        for point in (0.01, 0.5, 1.0):
+            sv = SelectivityVector.from_sequence([point] * template.dimensions)
+            result = engine.optimize(sv)
+            assert 0 < result.cost < float("inf")
+            assert 0 < result.plan.cardinality < float("inf")
+
+    def test_join_cost_exceeds_scan_cost(self, toy_db, toy_template,
+                                         toy_single_table_template):
+        join_engine = toy_db.engine(toy_template)
+        scan_engine = toy_db.engine(toy_single_table_template)
+        join_cost = join_engine.optimize(SelectivityVector.of(0.5, 0.5)).cost
+        scan_cost = scan_engine.optimize(SelectivityVector.of(0.5)).cost
+        assert join_cost > scan_cost

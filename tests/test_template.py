@@ -1,0 +1,127 @@
+"""Tests for query templates and predicate expressions."""
+
+import pytest
+
+from repro.query.expressions import (
+    ColumnRef,
+    ComparisonOp,
+    FixedPredicate,
+    JoinEdge,
+    ParameterizedPredicate,
+)
+from repro.query.template import (
+    AggregationKind,
+    QueryTemplate,
+    join,
+    range_predicate,
+)
+
+
+class TestExpressions:
+    def test_comparison_apply(self):
+        assert ComparisonOp.LE.apply(3, 5)
+        assert ComparisonOp.GE.apply(5, 5)
+        assert ComparisonOp.EQ.apply(5, 5)
+        assert not ComparisonOp.EQ.apply(4, 5)
+
+    def test_column_ref_str(self):
+        assert str(ColumnRef("t", "c")) == "t.c"
+
+    def test_predicate_str(self):
+        pred = ParameterizedPredicate(ColumnRef("t", "c"), ComparisonOp.LE)
+        assert str(pred) == "t.c <= ?"
+        fixed = FixedPredicate(ColumnRef("t", "c"), ComparisonOp.GE, 7)
+        assert "7" in str(fixed)
+
+    def test_join_edge_tables(self):
+        edge = JoinEdge(ColumnRef("a", "x"), ColumnRef("b", "y"))
+        assert edge.tables() == ("a", "b")
+        assert str(edge) == "a.x = b.y"
+
+
+class TestTemplateValidation:
+    def test_requires_tables(self):
+        with pytest.raises(ValueError, match="at least one table"):
+            QueryTemplate(name="q", database="d", tables=[])
+
+    def test_rejects_duplicate_tables(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            QueryTemplate(name="q", database="d", tables=["a", "a"])
+
+    def test_rejects_join_on_unknown_table(self):
+        with pytest.raises(ValueError, match="unknown table"):
+            QueryTemplate(
+                name="q", database="d", tables=["a"],
+                joins=[join("a", "x", "b", "y")],
+            )
+
+    def test_rejects_predicate_on_unknown_table(self):
+        with pytest.raises(ValueError, match="unknown table"):
+            QueryTemplate(
+                name="q", database="d", tables=["a"],
+                parameterized=[range_predicate("b", "x")],
+            )
+
+    def test_rejects_disconnected_join_graph(self):
+        with pytest.raises(ValueError, match="not connected"):
+            QueryTemplate(name="q", database="d", tables=["a", "b"])
+
+    def test_group_by_required_for_aggregate(self):
+        with pytest.raises(ValueError, match="group_by"):
+            QueryTemplate(
+                name="q", database="d", tables=["a"],
+                aggregation=AggregationKind.GROUP_BY,
+            )
+
+    def test_connected_chain_accepted(self):
+        t = QueryTemplate(
+            name="q", database="d", tables=["a", "b", "c"],
+            joins=[join("a", "x", "b", "y"), join("b", "y", "c", "z")],
+        )
+        assert t.dimensions == 0
+
+
+class TestTemplateAccessors:
+    @pytest.fixture()
+    def template(self) -> QueryTemplate:
+        return QueryTemplate(
+            name="q", database="d", tables=["a", "b"],
+            joins=[join("a", "k", "b", "k")],
+            parameterized=[
+                range_predicate("a", "x", "<="),
+                range_predicate("b", "y", ">="),
+                range_predicate("a", "z", "<="),
+            ],
+        )
+
+    def test_dimensions(self, template):
+        assert template.dimensions == 3
+
+    def test_predicates_on(self, template):
+        assert len(template.predicates_on("a")) == 2
+        assert len(template.predicates_on("b")) == 1
+        assert template.predicates_on("c") == []
+
+    def test_parameter_index(self, template):
+        pred_b = template.predicates_on("b")[0]
+        assert template.parameter_index(pred_b) == 1
+
+    def test_join_edges_between(self, template):
+        edges = template.join_edges_between(frozenset(["a"]), frozenset(["b"]))
+        assert len(edges) == 1
+        assert template.join_edges_between(frozenset(["a"]), frozenset(["c"])) == []
+
+    def test_fixed_on_empty(self, template):
+        assert template.fixed_on("a") == []
+
+
+def test_range_predicate_helper():
+    pred = range_predicate("t", "c", ">=")
+    assert pred.op is ComparisonOp.GE
+    assert pred.column == ColumnRef("t", "c")
+
+
+def test_join_helper():
+    edge = join("a", "x", "b", "y")
+    assert edge.left == ColumnRef("a", "x")
+    assert edge.right == ColumnRef("b", "y")

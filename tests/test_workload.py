@@ -1,0 +1,212 @@
+"""Tests for workload generation, orderings and the suite."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.instance import QueryInstance, SelectivityVector
+from repro.workload.generator import (
+    DEFAULT_BANDS,
+    SelectivityBands,
+    generate_selectivity_vectors,
+    instances_for_template,
+)
+from repro.workload.orderings import ALL_ORDERINGS, Ordering, order_instances
+from repro.workload.suite import SuiteConfig, build_templates
+from repro.workload.templates import (
+    dimension_sweep_template,
+    seed_templates,
+)
+
+
+class TestBands:
+    def test_default_bands_valid(self):
+        assert DEFAULT_BANDS.small_high <= DEFAULT_BANDS.large_low
+
+    def test_invalid_bands_rejected(self):
+        with pytest.raises(ValueError):
+            SelectivityBands(small_low=0.5, small_high=0.2)
+
+
+class TestGenerator:
+    def test_count_and_dimensions(self):
+        vectors = generate_selectivity_vectors(3, 100, seed=1)
+        assert len(vectors) == 100
+        assert all(len(v) == 3 for v in vectors)
+
+    def test_deterministic(self):
+        a = generate_selectivity_vectors(2, 50, seed=9)
+        b = generate_selectivity_vectors(2, 50, seed=9)
+        assert a == b
+
+    def test_regions_cover_bucketization(self):
+        """The d+2 region scheme: some all-small, some all-large, and
+        some large-in-exactly-one-dimension vectors must appear."""
+        bands = DEFAULT_BANDS
+        vectors = generate_selectivity_vectors(3, 200, seed=2)
+        all_small = all_large = one_large = 0
+        for v in vectors:
+            larges = [s >= bands.large_low for s in v]
+            if not any(larges):
+                all_small += 1
+            elif all(larges):
+                all_large += 1
+            elif sum(larges) == 1:
+                one_large += 1
+        assert all_small > 0
+        assert all_large > 0
+        assert one_large > 0
+        # Each region gets ~m/(d+2) = 40 instances.
+        assert all_small == pytest.approx(40, abs=2)
+        assert all_large == pytest.approx(40, abs=2)
+
+    def test_values_within_bands(self):
+        bands = DEFAULT_BANDS
+        for v in generate_selectivity_vectors(2, 80, seed=3):
+            for s in v:
+                in_small = bands.small_low <= s <= bands.small_high
+                in_large = bands.large_low <= s <= bands.large_high
+                assert in_small or in_large
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_selectivity_vectors(0, 10)
+        with pytest.raises(ValueError):
+            generate_selectivity_vectors(2, 0)
+
+    def test_instances_carry_sequence_ids(self, toy_template):
+        instances = instances_for_template(toy_template, 30, seed=1)
+        assert [i.sequence_id for i in instances] == list(range(30))
+
+    def test_instances_with_estimator_carry_parameters(self, toy_db, toy_template):
+        instances = instances_for_template(
+            toy_template, 10, seed=1, estimator=toy_db.estimator
+        )
+        assert all(len(i.parameters) == 2 for i in instances)
+        # Parameters must reproduce the target selectivities (roundtrip).
+        for i in instances[:5]:
+            sv = toy_db.estimator.selectivity_vector(
+                toy_template, QueryInstance("toy_join", parameters=i.parameters)
+            )
+            for want, got in zip(i.sv, sv):
+                assert got == pytest.approx(want, abs=0.1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(d=st.integers(min_value=1, max_value=8),
+       m=st.integers(min_value=1, max_value=150),
+       seed=st.integers(min_value=0, max_value=1000))
+def test_property_generator_counts(d, m, seed):
+    vectors = generate_selectivity_vectors(d, m, seed=seed)
+    assert len(vectors) == m
+    assert all(0 < s <= 1 for v in vectors for s in v)
+
+
+class TestOrderings:
+    @pytest.fixture()
+    def instances(self):
+        svs = [SelectivityVector.of(0.1 * (i + 1)) for i in range(8)]
+        return [
+            QueryInstance("q", sv=sv, sequence_id=i) for i, sv in enumerate(svs)
+        ]
+
+    def test_random_is_permutation(self, instances):
+        ordered = order_instances(instances, Ordering.RANDOM, seed=3)
+        assert len(ordered) == len(instances)
+        assert {i.sv for i in ordered} == {i.sv for i in instances}
+        assert [i.sequence_id for i in ordered] == list(range(8))
+
+    def test_decreasing_cost(self, instances):
+        costs = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 4.0]
+        ordered = order_instances(instances, Ordering.DECREASING_COST, costs)
+        got = [costs[instances.index(next(
+            j for j in instances if j.sv == o.sv))] for o in ordered]
+        assert got == sorted(costs, reverse=True)
+
+    def test_round_robin_interleaves_plans(self, instances):
+        costs = [1.0] * 8
+        plans = ["A", "A", "A", "A", "B", "B", "B", "B"]
+        ordered = order_instances(
+            instances, Ordering.ROUND_ROBIN_PLANS, costs, plans
+        )
+        got_plans = [plans[next(
+            k for k, j in enumerate(instances) if j.sv == o.sv)] for o in ordered]
+        assert got_plans[:4] == ["A", "B", "A", "B"]
+
+    def test_inside_out_starts_near_mean(self, instances):
+        costs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]  # mean 4.5
+        ordered = order_instances(instances, Ordering.INSIDE_OUT, costs)
+        first_cost = costs[next(
+            k for k, j in enumerate(instances) if j.sv == ordered[0].sv)]
+        assert first_cost in (4.0, 5.0)
+
+    def test_outside_in_starts_at_extremes(self, instances):
+        costs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+        ordered = order_instances(instances, Ordering.OUTSIDE_IN, costs)
+        first_cost = costs[next(
+            k for k, j in enumerate(instances) if j.sv == ordered[0].sv)]
+        assert first_cost in (1.0, 8.0)
+
+    def test_cost_orderings_require_costs(self, instances):
+        with pytest.raises(ValueError, match="optimal costs"):
+            order_instances(instances, Ordering.DECREASING_COST)
+
+    def test_round_robin_requires_signatures(self, instances):
+        with pytest.raises(ValueError, match="signatures"):
+            order_instances(instances, Ordering.ROUND_ROBIN_PLANS, [1.0] * 8)
+
+    def test_all_orderings_enumerated(self):
+        assert len(ALL_ORDERINGS) == 5
+
+
+class TestTemplatesAndSuite:
+    def test_seed_templates_valid_and_named_uniquely(self):
+        templates = seed_templates()
+        names = [t.name for t in templates]
+        assert len(names) == len(set(names))
+        assert len(templates) >= 15
+
+    def test_about_a_third_high_dimensional(self):
+        """The paper: ~1/3 of templates have d >= 4."""
+        templates = seed_templates()
+        high_d = sum(1 for t in templates if t.dimensions >= 4)
+        assert high_d / len(templates) >= 0.25
+
+    def test_dimensions_up_to_ten(self):
+        assert max(t.dimensions for t in seed_templates()) == 10
+
+    def test_all_four_databases_covered(self):
+        assert {t.database for t in seed_templates()} == {
+            "tpch", "tpcds", "rd1", "rd2"
+        }
+
+    def test_dimension_sweep_template(self):
+        for d in (1, 4, 10, 12):
+            assert dimension_sweep_template(d).dimensions == d
+        with pytest.raises(ValueError):
+            dimension_sweep_template(13)
+
+    def test_build_templates_expansion(self):
+        seeds = seed_templates()
+        expanded = build_templates(len(seeds) + 10)
+        assert len(expanded) == len(seeds) + 10
+        names = [t.name for t in expanded]
+        assert len(names) == len(set(names))
+
+    def test_build_templates_can_reach_ninety(self):
+        templates = build_templates(90)
+        assert len(templates) == 90
+
+    def test_suite_config_lengths(self):
+        config = SuiteConfig(instances_per_sequence=100, instances_high_d=200)
+        low_d = next(t for t in seed_templates() if t.dimensions <= 3)
+        high_d = next(t for t in seed_templates() if t.dimensions > 3)
+        assert config.sequence_length(low_d) == 100
+        assert config.sequence_length(high_d) == 200
+
+    def test_paper_scale_config(self):
+        config = SuiteConfig.paper_scale()
+        assert config.num_templates == 90
+        assert config.instances_per_sequence == 1000
+        assert config.instances_high_d == 2000
