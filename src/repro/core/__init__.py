@@ -21,7 +21,12 @@ from .manage_cache import (
 )
 from .coverage import CoverageReport, sample_coverage
 from .manager import PQOManager, TemplateState, choose_lambda
-from .persistence import CacheSnapshot, dump_cache, load_cache
+from .persistence import (
+    CacheCorruptionError,
+    CacheSnapshot,
+    dump_cache,
+    load_cache,
+)
 from .seeding import SeedingReport, grid_points, random_points, seed_cache
 from .spatial_index import IndexedGetPlan, InstanceGridIndex
 from .plan_cache import CachedPlan, InstanceEntry, PlanCache
@@ -34,6 +39,7 @@ __all__ = [
     "BoundingFunction",
     "CandidateOrder",
     "EvictionPolicy",
+    "CacheCorruptionError",
     "CacheSnapshot",
     "CoverageReport",
     "sample_coverage",

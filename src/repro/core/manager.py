@@ -37,6 +37,10 @@ class TemplateState:
     engine: EngineAPI
     budget: Optional[int] = None
     instances_seen: int = 0
+    #: True while the template's recost circuit breaker is open: the
+    #: engine is misbehaving for this template, so it is frozen at the
+    #: minimum plan-budget share until the breaker closes again.
+    quarantined: bool = False
 
 
 def choose_lambda(
@@ -87,6 +91,10 @@ class PQOManager:
     default_lambda: float = 2.0
     rebalance_every: int = 200
     scr_factory: Callable[..., SCR] = SCR
+    #: Optional engine decorator applied at registration — e.g.
+    #: :func:`repro.engine.resilience.resilient_engine_factory` to put
+    #: every template's engine behind retries and a circuit breaker.
+    engine_wrapper: Optional[Callable[[EngineAPI], EngineAPI]] = None
     _templates: dict[str, TemplateState] = field(default_factory=dict)
     _since_rebalance: int = 0
 
@@ -100,6 +108,8 @@ class PQOManager:
         if template.name in self._templates:
             raise ValueError(f"template {template.name!r} already registered")
         engine = self.database.engine(template)
+        if self.engine_wrapper is not None:
+            engine = self.engine_wrapper(engine)
         state = TemplateState(
             template=template,
             scr=self.scr_factory(
@@ -120,6 +130,7 @@ class PQOManager:
             )
         choice = state.scr.process(instance)
         state.instances_seen += 1
+        self._update_quarantine(state)
         self._since_rebalance += 1
         if (
             self.global_plan_budget is not None
@@ -129,6 +140,24 @@ class PQOManager:
             self._since_rebalance = 0
         return choice
 
+    # -- quarantine ----------------------------------------------------------
+
+    def _update_quarantine(self, state: TemplateState) -> None:
+        """Track the template's recost breaker; quarantine while open."""
+        breaker = getattr(state.engine, "recost_breaker", None)
+        if breaker is None:
+            return
+        is_open = bool(getattr(breaker, "is_open", False))
+        if is_open != state.quarantined:
+            state.quarantined = is_open
+            self._apply_budgets()
+
+    @property
+    def quarantined_templates(self) -> list[str]:
+        return sorted(
+            name for name, s in self._templates.items() if s.quarantined
+        )
+
     # -- budget division -----------------------------------------------------
 
     def _apply_budgets(self) -> None:
@@ -136,11 +165,17 @@ class PQOManager:
             return
         states = list(self._templates.values())
         # Weight templates by optimizer pressure (+1 smoothing), floor 1.
-        weights = [max(1, s.scr.optimizer_calls + 1) for s in states]
+        # Quarantined templates are frozen at the floor: their optimizer
+        # pressure is an artifact of engine failures, not real demand.
+        weights = [
+            1 if s.quarantined else max(1, s.scr.optimizer_calls + 1)
+            for s in states
+        ]
         total_weight = sum(weights)
         budget = max(self.global_plan_budget, len(states))
         shares = [
-            max(1, int(budget * w / total_weight)) for w in weights
+            1 if s.quarantined else max(1, int(budget * w / total_weight))
+            for s, w in zip(states, weights)
         ]
         # Fix rounding drift by trimming the largest shares.
         while sum(shares) > budget:
@@ -185,5 +220,6 @@ class PQOManager:
                 "plans": state.scr.plans_cached,
                 "budget": state.budget if state.budget is not None else "-",
                 "lambda": state.scr.lam,
+                "quarantined": "yes" if state.quarantined else "-",
             })
         return rows

@@ -13,13 +13,35 @@ representations trade memory for time.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from dataclasses import dataclass
 
 from ..optimizer.operators import PhysicalOp
 from ..optimizer.recost import ShrunkenMemo, _RecostNode
 from ..query.instance import SelectivityVector
 from .plan_cache import CachedPlan, InstanceEntry, PlanCache
+
+
+class CacheCorruptionError(ValueError):
+    """A cache dump is truncated, bit-flipped or otherwise unusable.
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    broad validation errors keep working.
+    """
+
+
+def _payload_checksum(payload: dict) -> str:
+    """SHA-256 over the canonical JSON encoding of the payload.
+
+    The canonical form (sorted keys, no whitespace) survives a JSON
+    round-trip bit-for-bit, so the checksum can be recomputed from the
+    parsed document at load time.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def _node_to_dict(node: _RecostNode) -> dict:
@@ -82,7 +104,12 @@ def dump_cache(cache: PlanCache) -> str:
         }
         for entry in cache.instances()
     ]
-    return json.dumps({"version": 1, "plans": plans, "instances": instances})
+    payload = {"plans": plans, "instances": instances}
+    return json.dumps({
+        "version": 2,
+        "checksum": _payload_checksum(payload),
+        "payload": payload,
+    })
 
 
 def load_cache(text: str) -> PlanCache:
@@ -91,10 +118,51 @@ def load_cache(text: str) -> PlanCache:
     Restored :class:`CachedPlan` entries carry ``plan=None`` — callers
     needing an executable tree re-optimize at any anchoring instance
     (one optimizer call per plan, amortized away by reuse).
+
+    Raises
+    ------
+    CacheCorruptionError
+        If the document is truncated, fails JSON parsing, is missing
+        fields, or its embedded SHA-256 checksum does not match the
+        payload.
+    ValueError
+        If the document parses cleanly but declares an unsupported
+        format version.
     """
-    data = json.loads(text)
-    if data.get("version") != 1:
-        raise ValueError(f"unsupported cache dump version {data.get('version')!r}")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CacheCorruptionError(
+            f"cache dump is not valid JSON (truncated?): {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise CacheCorruptionError("cache dump is not a JSON object")
+    version = data.get("version")
+    if version == 2:
+        payload = data.get("payload")
+        stored = data.get("checksum")
+        if not isinstance(payload, dict) or not isinstance(stored, str):
+            raise CacheCorruptionError("cache dump missing payload/checksum")
+        actual = _payload_checksum(payload)
+        if actual != stored:
+            raise CacheCorruptionError(
+                f"cache dump checksum mismatch: stored {stored[:12]}..., "
+                f"computed {actual[:12]}..."
+            )
+    elif version == 1:
+        # Legacy un-checksummed format: the document is the payload.
+        payload = data
+    else:
+        raise ValueError(f"unsupported cache dump version {version!r}")
+    try:
+        return _cache_from_payload(payload)
+    except (KeyError, TypeError, IndexError, AttributeError) as exc:
+        raise CacheCorruptionError(
+            f"cache dump payload is malformed: {exc!r}"
+        ) from exc
+
+
+def _cache_from_payload(data: dict) -> PlanCache:
     cache = PlanCache()
     id_map: dict[int, int] = {}
     for plan_data in data["plans"]:
@@ -130,14 +198,36 @@ def load_cache(text: str) -> PlanCache:
 
 @dataclass(frozen=True)
 class CacheSnapshot:
-    """Convenience: dump/load against a file path."""
+    """Crash-safe dump/load against a file path.
+
+    ``save`` writes to a temporary file in the target directory, fsyncs
+    it, and atomically renames it over the destination with
+    :func:`os.replace` — a crash mid-save leaves the previous snapshot
+    intact, never a truncated one.  ``load`` verifies the embedded
+    checksum and raises :class:`CacheCorruptionError` on any damage,
+    leaving the file untouched for forensics.
+    """
 
     path: str
 
     def save(self, cache: PlanCache) -> int:
         text = dump_cache(cache)
-        with open(self.path, "w") as f:
-            f.write(text)
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(self.path) + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(text)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
         return len(text)
 
     def load(self) -> PlanCache:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..engine.api import EngineAPI
+from ..engine.resilience import OptimizeUnavailableError
 from ..engine.tracing import TraceLog
 from ..query.instance import SelectivityVector
 from .bounds import BoundingFunction, LINEAR_BOUND
@@ -137,7 +138,13 @@ class SCR(OnlinePQOTechnique):
                 plan=plan.plan,
             )
 
-        result = self._optimize(sv)
+        try:
+            result = self._optimize(sv)
+        except OptimizeUnavailableError:
+            fallback = self._fallback_choice(sv, decision.recost_calls)
+            if fallback is None:
+                raise  # empty cache: nothing can be served
+            return fallback
         recosts_before = self.manage_cache.stats.redundancy_recost_calls
         entry = self.manage_cache.register(sv, result, self.engine.recost)
         redundancy_recosts = (
@@ -156,6 +163,43 @@ class SCR(OnlinePQOTechnique):
             recost_calls=decision.recost_calls + redundancy_recosts,
             optimal_cost=result.cost,
             plan=chosen.plan,
+        )
+
+    def _fallback_choice(
+        self, sv: SelectivityVector, recost_calls: int
+    ) -> Optional[PlanChoice]:
+        """Serve the nearest cached plan when the optimizer is down.
+
+        The plan carries no verified λ bound, so the choice is flagged
+        ``uncertified`` — the guarantee is never silently weakened.
+        """
+        best = None
+        best_distance = float("inf")
+        for entry in self.cache.instances():
+            distance = entry.sv.log_distance(sv)
+            if distance < best_distance:
+                best, best_distance = entry, distance
+        if best is None:
+            return None
+        plan = self.cache.plan(best.plan_id)
+        self.engine.counters.resilience.optimize_fallbacks += 1
+        if self.engine.trace is not None:
+            self.engine.trace.degraded(
+                "optimize", self.instances_processed,
+                detail=f"serving cached plan {plan.signature[:60]}",
+            )
+        if self.trace is not None:
+            self.trace.decision(
+                self.instances_processed, "fallback", plan.signature
+            )
+        return PlanChoice(
+            shrunken_memo=plan.shrunken_memo,
+            plan_signature=plan.signature,
+            used_optimizer=False,
+            check="fallback",
+            recost_calls=recost_calls,
+            plan=plan.plan,
+            certified=False,
         )
 
     @property

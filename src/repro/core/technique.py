@@ -30,6 +30,9 @@ class PlanChoice:
     recost_calls: int = 0
     optimal_cost: Optional[float] = None  # known only if we optimized
     plan: Optional[PhysicalPlan] = None   # executable plan tree
+    #: False when a degraded path served this instance (optimizer
+    #: fallback, stale sVector): no λ bound was verified for it.
+    certified: bool = True
 
 
 class OnlinePQOTechnique(ABC):
@@ -45,8 +48,13 @@ class OnlinePQOTechnique(ABC):
 
     def process(self, instance: QueryInstance) -> PlanChoice:
         """Handle one arriving query instance."""
+        self.engine.begin_instance(self.instances_processed)
         sv = self.engine.selectivity_vector(instance)
         choice = self._choose(sv)
+        if getattr(self.engine, "last_selectivity_degraded", False):
+            # The sVector was a stale fallback: every check ran against
+            # approximate selectivities, so no bound is certified.
+            choice.certified = False
         self.instances_processed += 1
         if choice.used_optimizer:
             self.optimizer_calls += 1

@@ -1,15 +1,49 @@
-"""Engine façade: Database + the three engine APIs with accounting."""
+"""Engine façade: Database + the three engine APIs with accounting,
+fault injection and the resilience layer."""
 
-from .api import ApiAccounting, EngineAPI, EngineCounters
+from .api import ApiAccounting, EngineAPI, EngineCounters, ResilienceCounters
 from .database import Database
+from .faults import (
+    EngineFault,
+    EngineTimeoutError,
+    FaultConfig,
+    FaultInjector,
+    FaultProfile,
+    TransientEngineError,
+)
+from .resilience import (
+    BreakerState,
+    CircuitBreaker,
+    OptimizeUnavailableError,
+    ResiliencePolicy,
+    ResilientEngineAPI,
+    RetryPolicy,
+    SelectivityUnavailableError,
+    resilient_engine_factory,
+)
 from .tracing import TraceEvent, TraceEventKind, TraceLog
 
 __all__ = [
     "ApiAccounting",
+    "BreakerState",
+    "CircuitBreaker",
     "Database",
     "EngineAPI",
     "EngineCounters",
+    "EngineFault",
+    "EngineTimeoutError",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultProfile",
+    "OptimizeUnavailableError",
+    "ResilienceCounters",
+    "ResiliencePolicy",
+    "ResilientEngineAPI",
+    "RetryPolicy",
+    "SelectivityUnavailableError",
     "TraceEvent",
     "TraceEventKind",
     "TraceLog",
+    "TransientEngineError",
+    "resilient_engine_factory",
 ]

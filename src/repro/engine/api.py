@@ -40,17 +40,45 @@ class ApiAccounting:
 
 
 @dataclass
+class ResilienceCounters:
+    """Fault-handling accounting kept alongside the API counters.
+
+    Populated by :class:`~repro.engine.resilience.ResilientEngineAPI`;
+    stays all-zero when the engine runs without a resilience layer.
+    """
+
+    faults_optimize: int = 0
+    faults_recost: int = 0
+    faults_selectivity: int = 0
+    retries: int = 0
+    breaker_opens: int = 0
+    breaker_closes: int = 0
+    breaker_short_circuits: int = 0
+    recost_failed_closed: int = 0      # recost failures served as a miss
+    optimize_fallbacks: int = 0        # optimizer failures served from cache
+    selectivity_fallbacks: int = 0     # sVector failures served stale+inflated
+
+    @property
+    def total_faults(self) -> int:
+        return (
+            self.faults_optimize + self.faults_recost + self.faults_selectivity
+        )
+
+
+@dataclass
 class EngineCounters:
     """Accounting for the three APIs of one :class:`EngineAPI`."""
 
     optimize: ApiAccounting = field(default_factory=ApiAccounting)
     recost: ApiAccounting = field(default_factory=ApiAccounting)
     selectivity: ApiAccounting = field(default_factory=ApiAccounting)
+    resilience: ResilienceCounters = field(default_factory=ResilienceCounters)
 
     def reset(self) -> None:
         self.optimize = ApiAccounting()
         self.recost = ApiAccounting()
         self.selectivity = ApiAccounting()
+        self.resilience = ResilienceCounters()
 
     @property
     def recost_speedup(self) -> float:
@@ -80,6 +108,15 @@ class EngineAPI:
         self.estimator = estimator
         self.counters = EngineCounters()
         self.trace = trace
+        self._instance_index = -1
+
+    def begin_instance(self, index: int) -> None:
+        """Tag subsequent API calls with the workload instance index.
+
+        Techniques call this once per arriving instance so trace events
+        are attributable to the instance that triggered them.
+        """
+        self._instance_index = index
 
     def selectivity_vector(self, instance: QueryInstance) -> SelectivityVector:
         """Compute the instance's sVector (cheap; always on the hot path)."""
@@ -96,7 +133,7 @@ class EngineAPI:
         self.counters.optimize.record(elapsed)
         if self.trace is not None:
             self.trace.api_call(
-                TraceEventKind.OPTIMIZE, -1, elapsed,
+                TraceEventKind.OPTIMIZE, self._instance_index, elapsed,
                 detail=result.plan.signature()[:80],
             )
         return result
@@ -108,7 +145,9 @@ class EngineAPI:
         elapsed = time.perf_counter() - start
         self.counters.recost.record(elapsed)
         if self.trace is not None:
-            self.trace.api_call(TraceEventKind.RECOST, -1, elapsed)
+            self.trace.api_call(
+                TraceEventKind.RECOST, self._instance_index, elapsed
+            )
         return cost
 
     def reset_counters(self) -> None:

@@ -21,6 +21,11 @@ class TraceEventKind(Enum):
     OPTIMIZE = "optimize"
     RECOST = "recost"
     DECISION = "decision"
+    # Resilience-layer events (fault handling around the engine APIs):
+    FAULT = "fault"          # a call failed or returned garbage
+    RETRY = "retry"          # a failed call is being retried
+    BREAKER = "breaker"      # circuit-breaker state transition
+    DEGRADED = "degraded"    # a fallback answer was served
 
 
 @dataclass(frozen=True)
@@ -68,6 +73,36 @@ class TraceLog:
     ) -> None:
         self.record(TraceEvent(
             kind=kind, sequence_id=sequence_id, seconds=seconds, detail=detail
+        ))
+
+    def fault(self, api: str, sequence_id: int, detail: str = "") -> None:
+        """One engine API call failed (exception, timeout or garbage)."""
+        self.record(TraceEvent(
+            kind=TraceEventKind.FAULT, sequence_id=sequence_id,
+            check=api, detail=detail,
+        ))
+
+    def retry(self, api: str, sequence_id: int, attempt: int,
+              backoff_seconds: float) -> None:
+        """A failed call is being retried after ``backoff_seconds``."""
+        self.record(TraceEvent(
+            kind=TraceEventKind.RETRY, sequence_id=sequence_id,
+            check=api, detail=f"attempt {attempt}",
+            seconds=backoff_seconds,
+        ))
+
+    def breaker(self, api: str, sequence_id: int, transition: str) -> None:
+        """Circuit-breaker transition, e.g. ``closed->open``."""
+        self.record(TraceEvent(
+            kind=TraceEventKind.BREAKER, sequence_id=sequence_id,
+            check=api, detail=transition,
+        ))
+
+    def degraded(self, api: str, sequence_id: int, detail: str = "") -> None:
+        """A fallback answer was served instead of a live engine result."""
+        self.record(TraceEvent(
+            kind=TraceEventKind.DEGRADED, sequence_id=sequence_id,
+            check=api, detail=detail,
         ))
 
     def __len__(self) -> int:

@@ -27,6 +27,10 @@ class InstanceRecord:
     check: str
     recost_calls: int = 0
     plan_signature: str = ""
+    #: False when the technique served a degraded (fallback) answer with
+    #: no verified λ bound; such instances are excluded from guarantee
+    #: accounting (certified_mso / certified_violations).
+    certified: bool = True
 
     @property
     def suboptimality(self) -> float:
@@ -80,9 +84,29 @@ class SequenceResult:
     def num_opt_percent(self) -> float:
         return 100.0 * self.num_opt / self.m if self.m else 0.0
 
+    @property
+    def num_uncertified(self) -> int:
+        """Instances served by degraded paths with no verified bound."""
+        return sum(1 for r in self.records if not r.certified)
+
+    @property
+    def certified_mso(self) -> float:
+        """Worst-case sub-optimality over *certified* instances only —
+        the population the λ-guarantee covers under engine faults."""
+        certified = [r.suboptimality for r in self.records if r.certified]
+        return float(max(certified)) if certified else 1.0
+
     def violations(self, lam: float) -> int:
         """Instances whose SO exceeded the bound (assumption violations)."""
         return int((self.suboptimalities > lam * (1 + 1e-9)).sum())
+
+    def certified_violations(self, lam: float) -> int:
+        """Certified instances whose SO exceeded λ; must be zero unless
+        the BCG assumption itself was violated."""
+        return sum(
+            1 for r in self.records
+            if r.certified and r.suboptimality > lam * (1 + 1e-9)
+        )
 
     def running_num_opt_percent(self, prefix_lengths: Sequence[int]) -> list[float]:
         """numOpt %% over growing prefixes (Figures 11 and 18)."""

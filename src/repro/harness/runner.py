@@ -68,6 +68,7 @@ def run_sequence(
                 check=choice.check,
                 recost_calls=choice.recost_calls,
                 plan_signature=choice.plan_signature,
+                certified=choice.certified,
             )
         )
         result.total_recost_calls += choice.recost_calls

@@ -1,0 +1,142 @@
+"""Persistence corruption round-trips: truncation, bit flips, checksum
+mismatches, and crash-safe atomic saves.
+
+The snapshot layer must never load damaged state silently — corruption
+surfaces as :class:`CacheCorruptionError` — and a crash mid-save must
+leave the previous snapshot intact (temp file + ``os.replace``).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.persistence import (
+    CacheCorruptionError,
+    CacheSnapshot,
+    dump_cache,
+    load_cache,
+)
+from repro.core.scr import SCR
+from repro.engine.api import EngineAPI
+from repro.optimizer.optimizer import QueryOptimizer
+from repro.workload.generator import instances_for_template
+
+
+@pytest.fixture()
+def populated_cache(toy_db, toy_template):
+    optimizer = QueryOptimizer(
+        toy_template, toy_db.stats, toy_db.estimator, toy_db.cost_model
+    )
+    engine = EngineAPI(toy_template, optimizer, toy_db.estimator)
+    scr = SCR(engine, lam=2.0)
+    for inst in instances_for_template(toy_template, 60, seed=31):
+        scr.process(inst)
+    return scr.cache
+
+
+class TestChecksummedFormat:
+    def test_dump_embeds_checksum(self, populated_cache):
+        doc = json.loads(dump_cache(populated_cache))
+        assert doc["version"] == 2
+        assert len(doc["checksum"]) == 64          # SHA-256 hex digest
+        assert "plans" in doc["payload"]
+
+    def test_round_trip(self, populated_cache):
+        restored = load_cache(dump_cache(populated_cache))
+        assert restored.num_plans == populated_cache.num_plans
+        assert restored.num_instances == populated_cache.num_instances
+
+    def test_legacy_v1_document_still_loads(self, populated_cache):
+        doc = json.loads(dump_cache(populated_cache))
+        legacy = dict(doc["payload"])
+        legacy["version"] = 1
+        restored = load_cache(json.dumps(legacy))
+        assert restored.num_plans == populated_cache.num_plans
+
+
+class TestCorruptionDetection:
+    def test_truncated_document(self, populated_cache):
+        text = dump_cache(populated_cache)
+        with pytest.raises(CacheCorruptionError, match="JSON"):
+            load_cache(text[: len(text) // 2])
+
+    def test_empty_document(self):
+        with pytest.raises(CacheCorruptionError):
+            load_cache("")
+
+    def test_non_object_document(self):
+        with pytest.raises(CacheCorruptionError, match="object"):
+            load_cache("[1, 2, 3]")
+
+    def test_bit_flipped_payload(self, populated_cache):
+        doc = json.loads(dump_cache(populated_cache))
+        doc["payload"]["instances"][0]["optimal_cost"] += 1.0
+        with pytest.raises(CacheCorruptionError, match="checksum"):
+            load_cache(json.dumps(doc))
+
+    def test_checksum_field_tampered(self, populated_cache):
+        doc = json.loads(dump_cache(populated_cache))
+        doc["checksum"] = "0" * 64
+        with pytest.raises(CacheCorruptionError, match="checksum"):
+            load_cache(json.dumps(doc))
+
+    def test_missing_checksum(self, populated_cache):
+        doc = json.loads(dump_cache(populated_cache))
+        del doc["checksum"]
+        with pytest.raises(CacheCorruptionError, match="payload/checksum"):
+            load_cache(json.dumps(doc))
+
+    def test_malformed_v1_payload_raises_corruption(self):
+        # Well-formed JSON, legacy version, but the payload is missing
+        # fields — must surface as CacheCorruptionError, not KeyError.
+        with pytest.raises(CacheCorruptionError, match="malformed"):
+            load_cache('{"version": 1, "plans": [{"plan_id": 0}], "instances": []}')
+
+    def test_unsupported_version_stays_value_error(self):
+        with pytest.raises(ValueError, match="version"):
+            load_cache('{"version": 99}')
+
+
+class TestSnapshotFileSafety:
+    def test_corrupt_file_raises_and_is_left_intact(
+        self, populated_cache, tmp_path
+    ):
+        path = tmp_path / "cache.json"
+        snapshot = CacheSnapshot(str(path))
+        snapshot.save(populated_cache)
+        damaged = path.read_text()[:100]
+        path.write_text(damaged)
+        with pytest.raises(CacheCorruptionError):
+            snapshot.load()
+        # The failed load must not touch the file (forensics).
+        assert path.read_text() == damaged
+
+    def test_crashed_save_preserves_previous_snapshot(
+        self, populated_cache, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "cache.json"
+        snapshot = CacheSnapshot(str(path))
+        snapshot.save(populated_cache)
+        before = path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            snapshot.save(populated_cache)
+        monkeypatch.undo()
+        # Old snapshot intact and loadable; no temp litter left behind.
+        assert path.read_bytes() == before
+        assert snapshot.load().num_plans == populated_cache.num_plans
+        assert [p for p in os.listdir(tmp_path) if p.endswith(".tmp")] == []
+
+    def test_save_is_atomic_via_replace(self, populated_cache, tmp_path):
+        path = tmp_path / "cache.json"
+        snapshot = CacheSnapshot(str(path))
+        size = snapshot.save(populated_cache)
+        assert size == len(path.read_text())
+        # Saving over an existing snapshot keeps it loadable throughout.
+        snapshot.save(populated_cache)
+        assert snapshot.load().num_plans == populated_cache.num_plans
