@@ -32,6 +32,14 @@ BENCH_ORDERINGS = [
 ]
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ is a paper-figure benchmark: tag it
+    ``bench`` and ``slow`` so ``-m "not slow"`` skips the directory."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def experiments() -> Experiments:
     config = ExperimentConfig(

@@ -33,9 +33,11 @@ from .catalog.registry import database_names, get_database
 from .catalog.schema import Column, Schema, Table
 from .catalog.tpcds import tpcds_schema
 from .catalog.tpch import tpch_schema
+from .core.manager import PQOManager
 from .core.scr import SCR
 from .core.technique import OnlinePQOTechnique, PlanChoice
 from .engine.database import Database
+from .serving.manager import ConcurrentPQOManager
 from .query.instance import QueryInstance, SelectivityVector
 from .query.template import QueryTemplate
 
@@ -43,8 +45,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Column",
+    "ConcurrentPQOManager",
     "Database",
     "OnlinePQOTechnique",
+    "PQOManager",
     "PlanChoice",
     "QueryInstance",
     "QueryTemplate",

@@ -14,9 +14,9 @@ while preserving λ-optimality:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from ..optimizer.recost import ShrunkenMemo
 from ..query.instance import SelectivityVector
@@ -125,17 +125,34 @@ class GetPlan:
         recost: Callable[[ShrunkenMemo, SelectivityVector], float],
     ) -> GetPlanDecision:
         """Run both checks; ``recost`` is the engine's Recost API."""
+        decision = self.probe(sv, recost)
+        self.commit(decision)
+        return decision
+
+    def probe(
+        self,
+        sv: SelectivityVector,
+        recost: Callable[[ShrunkenMemo, SelectivityVector], float],
+        entries: Optional[Iterable[InstanceEntry]] = None,
+    ) -> GetPlanDecision:
+        """Both checks, without committing any cache bookkeeping.
+
+        ``entries`` defaults to the live instance list; the concurrent
+        serving layer passes a :class:`~.plan_cache.CacheSnapshot`'s
+        entries so the scan runs lock-free, then calls :meth:`commit`
+        under the shard lock once the snapshot is validated.  Other than
+        the advisory scan counter, ``probe`` does not mutate the cache.
+        """
+        if entries is None:
+            entries = self.cache.instances()
         candidates: list[tuple[float, float, float, InstanceEntry]] = []
 
         # ---- selectivity check (pure arithmetic over the instance list)
-        for entry in self.cache.instances():
+        for entry in entries:
             self.entries_scanned += 1
             g, l = compute_gl(entry.sv, sv)
             budget = self._effective_lambda(entry) / entry.suboptimality
             if self.bound.selectivity_bound(g, l) <= budget:
-                entry.usage += 1
-                self.cache.touch(entry.plan_id)
-                self.selectivity_hits += 1
                 return GetPlanDecision(
                     plan_id=entry.plan_id,
                     check=CheckKind.SELECTIVITY,
@@ -151,16 +168,14 @@ class GetPlan:
         self._order_candidates(candidates)
         recost_calls = 0
         for _, g, l, entry in candidates[: self.max_recost_candidates]:
-            plan = self.cache.plan(entry.plan_id)
+            plan = self.cache.maybe_plan(entry.plan_id)
+            if plan is None:
+                continue  # evicted under a concurrent probe; skip
             new_cost = recost(plan.shrunken_memo, sv)
             recost_calls += 1
             r = new_cost / entry.optimal_cost
             budget = self._effective_lambda(entry) / entry.suboptimality
             if self.bound.cost_bound(r, l) <= budget:
-                entry.usage += 1
-                self.cache.touch(entry.plan_id)
-                self.cost_hits += 1
-                self._note_recosts(recost_calls)
                 return GetPlanDecision(
                     plan_id=entry.plan_id,
                     check=CheckKind.COST,
@@ -171,11 +186,27 @@ class GetPlan:
                     l=l,
                 )
 
-        self.misses += 1
-        self._note_recosts(recost_calls)
         return GetPlanDecision(
             plan_id=None, check=CheckKind.OPTIMIZER, recost_calls=recost_calls
         )
+
+    def commit(self, decision: GetPlanDecision) -> None:
+        """Apply the bookkeeping of a probed decision (usage counters,
+        LRU clock, hit/miss statistics).  Callers that probed against a
+        snapshot must hold the cache's write lock and have revalidated
+        the decision before committing."""
+        if decision.check is CheckKind.SELECTIVITY:
+            decision.anchor.usage += 1
+            self.cache.touch(decision.plan_id)
+            self.selectivity_hits += 1
+        elif decision.check is CheckKind.COST:
+            decision.anchor.usage += 1
+            self.cache.touch(decision.plan_id)
+            self.cost_hits += 1
+            self._note_recosts(decision.recost_calls)
+        else:
+            self.misses += 1
+            self._note_recosts(decision.recost_calls)
 
     def _order_candidates(
         self, candidates: list[tuple[float, float, float, InstanceEntry]]

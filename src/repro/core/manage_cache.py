@@ -57,6 +57,7 @@ class ManageCacheStats:
     plans_evicted: int = 0
     existing_plan_hits: int = 0
     redundancy_recost_calls: int = 0
+    instances_coalesced: int = 0
 
 
 @dataclass
@@ -74,6 +75,14 @@ class ManageCache:
         store-every-plan policy).
     plan_budget:
         Optional hard cap ``k`` on the number of cached plans.
+    coalesce_identical:
+        When True, registering an instance whose selectivity vector is
+        already anchored bumps the existing anchor's usage instead of
+        appending a duplicate 5-tuple.  Off by default (serial SCR keeps
+        the paper's exact bookkeeping); the concurrent serving layer
+        enables it so racy double-optimizations of the same vector —
+        e.g. two threads missing before either registers — cannot grow
+        the instance list without bound.
     """
 
     cache: PlanCache
@@ -82,6 +91,7 @@ class ManageCache:
     plan_budget: Optional[int] = None
     eviction_policy: EvictionPolicy = EvictionPolicy.LFU
     eviction_seed: int = 0
+    coalesce_identical: bool = False
     stats: ManageCacheStats = field(default_factory=ManageCacheStats)
 
     def __post_init__(self) -> None:
@@ -105,6 +115,13 @@ class ManageCache:
         """
         signature = result.plan.signature()
         optimal_cost = result.cost
+
+        if self.coalesce_identical:
+            duplicate = self.cache.find_instance(sv)
+            if duplicate is not None and not duplicate.retired:
+                duplicate.usage += 1
+                self.stats.instances_coalesced += 1
+                return duplicate
 
         existing = self.cache.find_plan(signature)
         if existing is not None:

@@ -98,6 +98,27 @@ class PQOManager:
     _templates: dict[str, TemplateState] = field(default_factory=dict)
     _since_rebalance: int = 0
 
+    def _build_state(
+        self,
+        template: QueryTemplate,
+        lam: Optional[float] = None,
+        **scr_kwargs,
+    ) -> TemplateState:
+        """Construct the per-template engine + SCR state (shared with
+        :class:`~repro.serving.ConcurrentPQOManager`)."""
+        if template.name in self._templates:
+            raise ValueError(f"template {template.name!r} already registered")
+        engine = self.database.engine(template)
+        if self.engine_wrapper is not None:
+            engine = self.engine_wrapper(engine)
+        return TemplateState(
+            template=template,
+            scr=self.scr_factory(
+                engine, lam=lam or self.default_lambda, **scr_kwargs
+            ),
+            engine=engine,
+        )
+
     def register(
         self,
         template: QueryTemplate,
@@ -105,18 +126,7 @@ class PQOManager:
         **scr_kwargs,
     ) -> TemplateState:
         """Register a template; returns its state handle."""
-        if template.name in self._templates:
-            raise ValueError(f"template {template.name!r} already registered")
-        engine = self.database.engine(template)
-        if self.engine_wrapper is not None:
-            engine = self.engine_wrapper(engine)
-        state = TemplateState(
-            template=template,
-            scr=self.scr_factory(
-                engine, lam=lam or self.default_lambda, **scr_kwargs
-            ),
-            engine=engine,
-        )
+        state = self._build_state(template, lam, **scr_kwargs)
         self._templates[template.name] = state
         self._apply_budgets()
         return state

@@ -61,6 +61,23 @@ class InstanceEntry:
         return self.optimal_cost * self.suboptimality
 
 
+@dataclass(frozen=True)
+class CacheSnapshot:
+    """An immutable view of the instance list at one cache epoch.
+
+    The concurrent serving layer runs the lock-free selectivity/cost
+    probe against a snapshot and later validates — under the shard's
+    write lock — that the epoch is unchanged (or that the specific
+    anchor is still live) before committing a hit.  Entries are shared
+    references: the only fields a commit mutates (``usage``) are
+    advisory, while the guarantee-bearing fields (``sv``, ``plan_id``,
+    ``optimal_cost``, ``suboptimality``) are written once at insertion.
+    """
+
+    epoch: int
+    entries: tuple[InstanceEntry, ...]
+
+
 @dataclass
 class PlanCache:
     """Plan list + instance list with the paper's maintenance operations."""
@@ -72,9 +89,31 @@ class PlanCache:
     _tick: int = 0
     max_plans_seen: int = 0
     plans_dropped: int = 0
+    #: Monotonic mutation counter; bumped on every structural change
+    #: (plan added/dropped, instance added).  Lock-free readers compare
+    #: epochs to detect that a snapshot went stale.
+    epoch: int = 0
+    _snapshot: Optional[CacheSnapshot] = field(default=None, repr=False)
     # Observers (e.g. the §6.2 spatial index) notified on mutation.
     on_instance_added: list = field(default_factory=list)
     on_plan_dropped: list = field(default_factory=list)
+
+    def _mutated(self) -> None:
+        self.epoch += 1
+        self._snapshot = None
+
+    def snapshot(self) -> CacheSnapshot:
+        """Copy-on-write snapshot of the instance list.
+
+        Between mutations the same tuple is handed out, so snapshotting
+        on the hot path is O(1); a mutation invalidates the cached copy
+        and the next reader rebuilds it.
+        """
+        snap = self._snapshot
+        if snap is None or snap.epoch != self.epoch:
+            snap = CacheSnapshot(epoch=self.epoch, entries=tuple(self._instances))
+            self._snapshot = snap
+        return snap
 
     def touch(self, plan_id: int) -> None:
         """Record a reuse of ``plan_id`` (advances the LRU clock)."""
@@ -92,6 +131,17 @@ class PlanCache:
     def plan(self, plan_id: int) -> CachedPlan:
         return self._plans[plan_id]
 
+    def has_plan(self, plan_id: int) -> bool:
+        """True while ``plan_id`` is live.  Plan ids are never reused,
+        so this is the revalidation test for an optimistic hit."""
+        return plan_id in self._plans
+
+    def maybe_plan(self, plan_id: int) -> Optional[CachedPlan]:
+        """Like :meth:`plan` but None when the plan has been dropped —
+        the lookup lock-free probes use, since a concurrent eviction can
+        remove a snapshot anchor's plan mid-scan."""
+        return self._plans.get(plan_id)
+
     def add_plan(self, plan: PhysicalPlan, shrunken: ShrunkenMemo) -> CachedPlan:
         signature = plan.signature()
         existing = self.find_plan(signature)
@@ -107,6 +157,7 @@ class PlanCache:
         self._by_signature[signature] = entry.plan_id
         self._next_plan_id += 1
         self.max_plans_seen = max(self.max_plans_seen, len(self._plans))
+        self._mutated()
         return entry
 
     def drop_plan(self, plan_id: int) -> None:
@@ -122,6 +173,7 @@ class PlanCache:
         del self._by_signature[entry.signature]
         self._instances = [i for i in self._instances if i.plan_id != plan_id]
         self.plans_dropped += 1
+        self._mutated()
         for listener in self.on_plan_dropped:
             listener(plan_id)
 
@@ -138,8 +190,16 @@ class PlanCache:
         if entry.plan_id not in self._plans:
             raise KeyError(f"instance points at unknown plan {entry.plan_id}")
         self._instances.append(entry)
+        self._mutated()
         for listener in self.on_instance_added:
             listener(entry)
+
+    def find_instance(self, sv: SelectivityVector) -> Optional[InstanceEntry]:
+        """First live instance entry with exactly this selectivity vector."""
+        for entry in self._instances:
+            if entry.sv.values == sv.values:
+                return entry
+        return None
 
     def instances(self) -> Iterator[InstanceEntry]:
         return iter(self._instances)

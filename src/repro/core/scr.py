@@ -22,7 +22,7 @@ from ..engine.resilience import OptimizeUnavailableError
 from ..engine.tracing import TraceLog
 from ..query.instance import SelectivityVector
 from .bounds import BoundingFunction, LINEAR_BOUND
-from .get_plan import CandidateOrder, CheckKind, GetPlan
+from .get_plan import CandidateOrder, CheckKind, GetPlan, GetPlanDecision
 from .manage_cache import EvictionPolicy, ManageCache
 from .plan_cache import PlanCache
 from .technique import OnlinePQOTechnique, PlanChoice
@@ -113,31 +113,44 @@ class SCR(OnlinePQOTechnique):
     def _choose(self, sv: SelectivityVector) -> PlanChoice:
         decision = self.get_plan(sv, self.engine.recost)
         if decision.hit:
-            if (
-                self.detector is not None
-                and decision.check is CheckKind.COST
-                and decision.anchor is not None
-            ):
-                self.detector.check(
-                    decision.anchor, decision.g, decision.l, decision.recost_ratio
-                )
-            plan = self.cache.plan(decision.plan_id)
-            if self.trace is not None:
-                self.trace.decision(
-                    self.instances_processed,
-                    decision.check.value,
-                    plan.signature,
-                    certified_bound=decision.inferred_suboptimality,
-                )
-            return PlanChoice(
-                shrunken_memo=plan.shrunken_memo,
-                plan_signature=plan.signature,
-                used_optimizer=False,
-                check=decision.check.value,
-                recost_calls=decision.recost_calls,
-                plan=plan.plan,
-            )
+            return self._hit_choice(decision)
+        return self._miss_choice(sv, decision)
 
+    def _hit_choice(self, decision: GetPlanDecision) -> PlanChoice:
+        """Build the :class:`PlanChoice` for a (committed) cache hit.
+
+        Also feeds the Appendix G violation detector on cost-check hits.
+        Shared with the concurrent serving layer, which calls it under
+        the shard's write lock after validating the probe's snapshot.
+        """
+        if (
+            self.detector is not None
+            and decision.check is CheckKind.COST
+            and decision.anchor is not None
+        ):
+            self.detector.check(
+                decision.anchor, decision.g, decision.l, decision.recost_ratio
+            )
+        plan = self.cache.plan(decision.plan_id)
+        if self.trace is not None:
+            self.trace.decision(
+                self.instances_processed,
+                decision.check.value,
+                plan.signature,
+                certified_bound=decision.inferred_suboptimality,
+            )
+        return PlanChoice(
+            shrunken_memo=plan.shrunken_memo,
+            plan_signature=plan.signature,
+            used_optimizer=False,
+            check=decision.check.value,
+            recost_calls=decision.recost_calls,
+            plan=plan.plan,
+        )
+
+    def _miss_choice(
+        self, sv: SelectivityVector, decision: GetPlanDecision
+    ) -> PlanChoice:
         try:
             result = self._optimize(sv)
         except OptimizeUnavailableError:
@@ -145,6 +158,14 @@ class SCR(OnlinePQOTechnique):
             if fallback is None:
                 raise  # empty cache: nothing can be served
             return fallback
+        return self._register_optimized(sv, result, decision.recost_calls)
+
+    def _register_optimized(
+        self, sv: SelectivityVector, result, recost_calls: int
+    ) -> PlanChoice:
+        """Run manageCache on a fresh optimizer result and build the
+        choice.  The concurrent serving layer calls this under the shard
+        write lock, with the optimizer call itself made outside it."""
         recosts_before = self.manage_cache.stats.redundancy_recost_calls
         entry = self.manage_cache.register(sv, result, self.engine.recost)
         redundancy_recosts = (
@@ -160,7 +181,7 @@ class SCR(OnlinePQOTechnique):
             plan_signature=chosen.signature,
             used_optimizer=True,
             check="optimizer",
-            recost_calls=decision.recost_calls + redundancy_recosts,
+            recost_calls=recost_calls + redundancy_recosts,
             optimal_cost=result.cost,
             plan=chosen.plan,
         )

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 from ..optimizer.recost import ShrunkenMemo
 from ..query.instance import SelectivityVector
@@ -125,11 +125,16 @@ class IndexedGetPlan(GetPlan):
         self.index = index if index is not None else InstanceGridIndex()
         self.cost_check_log_radius = cost_check_log_radius
 
-    def __call__(
+    def probe(
         self,
         sv: SelectivityVector,
         recost: Callable[[ShrunkenMemo, SelectivityVector], float],
+        entries: Optional[Iterable[InstanceEntry]] = None,
     ) -> GetPlanDecision:
+        if entries is not None:
+            # An explicit entry set (a concurrency snapshot) bypasses the
+            # index: the grid is not copy-on-write, so scan the snapshot.
+            return super().probe(sv, recost, entries)
         lam_max = self.lam if self.lambda_for is None else None
         # ---- selectivity check over the near neighborhood only.
         sel_radius = math.log(lam_max) if lam_max else self.cost_check_log_radius
@@ -142,9 +147,6 @@ class IndexedGetPlan(GetPlan):
                 math.log(g * l) <= sel_radius + 1e-12
                 and self.bound.selectivity_bound(g, l) <= budget
             ):
-                entry.usage += 1
-                self.cache.touch(entry.plan_id)
-                self.selectivity_hits += 1
                 return GetPlanDecision(
                     plan_id=entry.plan_id, check=CheckKind.SELECTIVITY,
                     anchor=entry, g=g, l=l,
@@ -156,23 +158,19 @@ class IndexedGetPlan(GetPlan):
         candidates.sort(key=lambda item: item[0])
         recost_calls = 0
         for _, g, l, entry in candidates[: self.max_recost_candidates]:
-            plan = self.cache.plan(entry.plan_id)
+            plan = self.cache.maybe_plan(entry.plan_id)
+            if plan is None:
+                continue  # evicted under a concurrent probe; skip
             new_cost = recost(plan.shrunken_memo, sv)
             recost_calls += 1
             r = new_cost / entry.optimal_cost
             budget = self._effective_lambda(entry) / entry.suboptimality
             if self.bound.cost_bound(r, l) <= budget:
-                entry.usage += 1
-                self.cache.touch(entry.plan_id)
-                self.cost_hits += 1
-                self._note_recosts(recost_calls)
                 return GetPlanDecision(
                     plan_id=entry.plan_id, check=CheckKind.COST, anchor=entry,
                     recost_calls=recost_calls, recost_ratio=r, g=g, l=l,
                 )
 
-        self.misses += 1
-        self._note_recosts(recost_calls)
         return GetPlanDecision(
             plan_id=None, check=CheckKind.OPTIMIZER, recost_calls=recost_calls
         )

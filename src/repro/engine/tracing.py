@@ -26,6 +26,8 @@ class TraceEventKind(Enum):
     RETRY = "retry"          # a failed call is being retried
     BREAKER = "breaker"      # circuit-breaker state transition
     DEGRADED = "degraded"    # a fallback answer was served
+    # Concurrent-serving-layer events (shard scheduling decisions):
+    SERVING = "serving"      # batch admission, single-flight, revalidation
 
 
 @dataclass(frozen=True)
@@ -105,6 +107,14 @@ class TraceLog:
             check=api, detail=detail,
         ))
 
+    def serving(self, event: str, sequence_id: int, detail: str = "") -> None:
+        """A concurrent-serving-layer scheduling event, e.g.
+        ``single_flight_collapse`` or ``epoch_retry``."""
+        self.record(TraceEvent(
+            kind=TraceEventKind.SERVING, sequence_id=sequence_id,
+            check=event, detail=detail,
+        ))
+
     def __len__(self) -> int:
         return len(self.events)
 
@@ -129,3 +139,28 @@ class TraceLog:
         for check, count in sorted(counts.items()):
             parts.append(f"{check}: {count}")
         return ", ".join(parts)
+
+    def to_jsonable(self, include_timing: bool = False) -> list[dict]:
+        """The event sequence as JSON-serializable dicts.
+
+        Wall-clock durations are excluded by default so that traces of
+        deterministic runs are byte-for-byte reproducible — the golden-
+        trace regression test relies on this.  Certified bounds are
+        rounded to 9 decimals to absorb printing differences without
+        hiding real semantic drift.
+        """
+        rows = []
+        for event in self.events:
+            row: dict = {"kind": event.kind.value, "seq": event.sequence_id}
+            if event.check:
+                row["check"] = event.check
+            if event.detail:
+                row["detail"] = event.detail
+            if event.plan_signature:
+                row["plan"] = event.plan_signature
+            if event.certified_bound is not None:
+                row["bound"] = round(event.certified_bound, 9)
+            if include_timing:
+                row["seconds"] = event.seconds
+            rows.append(row)
+        return rows

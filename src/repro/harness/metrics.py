@@ -115,6 +115,41 @@ class SequenceResult:
         return [100.0 * cum[n - 1] / n for n in prefix_lengths if 0 < n <= self.m]
 
 
+def percentile(values: Sequence[float], p: float) -> float:
+    """Percentile of a sample; 0.0 on an empty sample."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    return float(np.percentile(arr, p)) if arr.size else 0.0
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """p50/p99-style summary of per-instance serving latencies.
+
+    Produced from the raw latency samples each serving shard records;
+    the concurrent serving layer reports one of these per shard plus a
+    fleet-wide aggregate.
+    """
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_seconds(cls, samples: Sequence[float]) -> "LatencySummary":
+        arr = np.asarray(list(samples), dtype=np.float64) * 1e3
+        if arr.size == 0:
+            return cls(count=0, mean_ms=0.0, p50_ms=0.0, p99_ms=0.0, max_ms=0.0)
+        return cls(
+            count=int(arr.size),
+            mean_ms=float(arr.mean()),
+            p50_ms=float(np.percentile(arr, 50.0)),
+            p99_ms=float(np.percentile(arr, 99.0)),
+            max_ms=float(arr.max()),
+        )
+
+
 @dataclass
 class MetricAggregate:
     """Average / percentile summaries across many sequences."""

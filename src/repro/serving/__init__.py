@@ -1,0 +1,34 @@
+"""repro.serving — the concurrent serving layer.
+
+A thread-safe front-end over the core SCR machinery: per-template
+shards with a fine-grained lock discipline (lock-free probes against
+copy-on-write snapshots, optimistic epoch validation, write-locked
+manageCache), single-flight optimizer collapsing, batched admission
+with selectivity-vector dedup, and per-shard serving statistics.
+
+Quickstart::
+
+    from repro.serving import ConcurrentPQOManager
+
+    manager = ConcurrentPQOManager(database=db, max_workers=8)
+    for template in templates:
+        manager.register(template, lam=2.0)
+    choices = manager.process_many(instances)   # batched, deduped
+    print(manager.serving_report())
+    manager.close()
+"""
+
+from .latency import SimulatedLatencyEngine, simulated_latency_wrapper
+from .manager import ConcurrentPQOManager
+from .shard import TemplateShard
+from .stats import ConcurrencyGauge, ServingStats, merge_rows
+
+__all__ = [
+    "ConcurrencyGauge",
+    "ConcurrentPQOManager",
+    "ServingStats",
+    "SimulatedLatencyEngine",
+    "TemplateShard",
+    "merge_rows",
+    "simulated_latency_wrapper",
+]

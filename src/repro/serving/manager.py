@@ -1,0 +1,237 @@
+"""The concurrent front-end: dispatching instances across shards.
+
+:class:`ConcurrentPQOManager` extends the serial
+:class:`~repro.core.manager.PQOManager` with a thread pool and one
+:class:`~repro.serving.shard.TemplateShard` per registered template.
+Independent templates never contend — each shard has its own lock, its
+own SCR state and its own single-flight table.  Global concerns (the
+shared plan budget, quarantine of misbehaving templates) are handled at
+**rebalance points**: one thread at a time takes every shard lock in
+canonical order (no worker ever holds two shard locks, so the ordering
+makes deadlock impossible) and re-divides the budget exactly like the
+serial manager.
+
+Batched admission (:meth:`submit_batch`) coalesces a batch by template
+and deduplicates identical selectivity vectors before dispatch, so a
+burst of the same query instance costs one optimization and the
+duplicates share its :class:`PlanChoice`.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.manager import PQOManager, TemplateState
+from ..core.technique import PlanChoice
+from ..engine.tracing import TraceLog
+from ..query.instance import QueryInstance
+from ..query.template import QueryTemplate
+from .shard import TemplateShard
+from .stats import ServingStats, merge_rows
+
+
+@dataclass
+class ConcurrentPQOManager(PQOManager):
+    """Routes query instances to per-template shards on a thread pool.
+
+    Parameters (beyond :class:`PQOManager`'s)
+    ----------
+    max_workers:
+        Size of the serving thread pool.
+    trace:
+        Optional :class:`TraceLog` receiving ``serving`` events
+        (single-flight collapses, epoch retries, batch dedup).
+    """
+
+    max_workers: int = 8
+    trace: Optional[TraceLog] = None
+    _shards: dict[str, TemplateShard] = field(default_factory=dict)
+    _executor: Optional[ThreadPoolExecutor] = field(
+        default=None, init=False, repr=False
+    )
+    _registry_lock: threading.RLock = field(
+        default_factory=threading.RLock, init=False, repr=False
+    )
+    _rebalance_lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False
+    )
+    _counter_lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="pqo-serve"
+        )
+
+    # -- registration ---------------------------------------------------------
+
+    def register(
+        self,
+        template: QueryTemplate,
+        lam: Optional[float] = None,
+        **scr_kwargs,
+    ) -> TemplateState:
+        with self._registry_lock:
+            state = self._build_state(template, lam, **scr_kwargs)
+            # Racy double-misses on one vector must not grow the instance
+            # list without bound (see ManageCache.coalesce_identical).
+            state.scr.manage_cache.coalesce_identical = True
+            with self._all_shard_locks():
+                self._templates[template.name] = state
+                self._shards[template.name] = TemplateShard(
+                    state, trace=self.trace
+                )
+                self._apply_budgets()
+        return state
+
+    def shard(self, template_name: str) -> TemplateShard:
+        return self._shards[template_name]
+
+    # -- serving --------------------------------------------------------------
+
+    def process(self, instance: QueryInstance) -> PlanChoice:
+        """Serve one instance synchronously (callable from any thread)."""
+        shard = self._shards.get(instance.template_name)
+        if shard is None:
+            raise KeyError(
+                f"template {instance.template_name!r} is not registered"
+            )
+        choice = shard.process(instance)
+        self._note_processed(shard.state)
+        return choice
+
+    def submit(self, instance: QueryInstance) -> "Future[PlanChoice]":
+        """Dispatch one instance to the serving pool."""
+        return self._executor.submit(self.process, instance)
+
+    def submit_batch(
+        self, instances: Sequence[QueryInstance], dedupe: bool = True
+    ) -> list["Future[PlanChoice]"]:
+        """Admit a batch: coalesce by template, dedupe identical vectors.
+
+        Returns one future per input instance, in input order; duplicate
+        instances share the future (and therefore the PlanChoice) of
+        their first occurrence.  Unique instances are dispatched round-
+        robin across templates so independent shards fill the pool
+        instead of convoying on one shard's lock.
+        """
+        futures: list[Optional[Future]] = [None] * len(instances)
+        per_template: dict[str, list[tuple[int, QueryInstance]]] = {}
+        first_seen: dict[tuple, int] = {}
+        duplicate_of: dict[int, int] = {}
+        for i, instance in enumerate(instances):
+            if dedupe:
+                key = (instance.template_name, self._dedupe_key(instance))
+                first = first_seen.get(key)
+                if first is not None:
+                    duplicate_of[i] = first
+                    shard = self._shards.get(instance.template_name)
+                    if shard is not None:
+                        shard.stats.note_deduped()
+                    if self.trace is not None:
+                        self.trace.serving("batch_dedupe", i)
+                    continue
+                first_seen[key] = i
+            per_template.setdefault(instance.template_name, []).append(
+                (i, instance)
+            )
+        queues = [list(reversed(v)) for _, v in sorted(per_template.items())]
+        while queues:
+            for queue in list(queues):
+                i, instance = queue.pop()
+                futures[i] = self.submit(instance)
+                if not queue:
+                    queues.remove(queue)
+        for i, first in duplicate_of.items():
+            futures[i] = futures[first]
+        return futures
+
+    def process_many(
+        self, instances: Sequence[QueryInstance], dedupe: bool = True
+    ) -> list[PlanChoice]:
+        """Admit a batch and wait for every result (input order)."""
+        return [f.result() for f in self.submit_batch(instances, dedupe=dedupe)]
+
+    @staticmethod
+    def _dedupe_key(instance: QueryInstance) -> tuple:
+        if instance.sv is not None:
+            return ("sv",) + instance.sv.values
+        return ("params",) + instance.parameters
+
+    # -- global budget / quarantine at rebalance points -----------------------
+
+    def _note_processed(self, state: TemplateState) -> None:
+        with self._counter_lock:
+            state.instances_seen += 1
+            self._since_rebalance += 1
+            due = (
+                self.global_plan_budget is not None
+                and self._since_rebalance >= self.rebalance_every
+            )
+        if due:
+            self._maybe_rebalance()
+
+    def _maybe_rebalance(self) -> None:
+        # Only one rebalancer at a time; losers just keep serving — the
+        # winner will see their counted instances anyway.
+        if not self._rebalance_lock.acquire(blocking=False):
+            return
+        try:
+            with self._counter_lock:
+                self._since_rebalance = 0
+            with self._all_shard_locks():
+                for state in self._templates.values():
+                    breaker = getattr(state.engine, "recost_breaker", None)
+                    if breaker is not None:
+                        state.quarantined = bool(
+                            getattr(breaker, "is_open", False)
+                        )
+                self._apply_budgets()
+        finally:
+            self._rebalance_lock.release()
+
+    @contextmanager
+    def _all_shard_locks(self):
+        """Every shard lock, in canonical (name) order.
+
+        Workers hold at most their own single shard lock and never
+        acquire a second, so a canonical-order sweep cannot deadlock.
+        """
+        shards = [self._shards[name] for name in sorted(self._shards)]
+        for shard in shards:
+            shard.lock.acquire()
+        try:
+            yield
+        finally:
+            for shard in reversed(shards):
+                shard.lock.release()
+
+    # -- reporting / lifecycle ------------------------------------------------
+
+    def serving_stats(self) -> list[ServingStats]:
+        return [self._shards[name].stats for name in sorted(self._shards)]
+
+    def serving_report(self) -> list[dict[str, object]]:
+        """Per-shard rows plus a fleet-wide TOTAL row."""
+        stats = self.serving_stats()
+        rows = [s.row() for s in stats]
+        if stats:
+            rows.append(merge_rows(stats))
+        return rows
+
+    def close(self, wait: bool = True) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "ConcurrentPQOManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,174 @@
+"""One template's serving shard: thread-safe SCR with optimistic reads.
+
+The lock discipline (DESIGN.md §8):
+
+* the **selectivity/cost probe** runs lock-free against an immutable
+  :class:`~repro.core.plan_cache.CacheSnapshot` of the instance list
+  (copy-on-write, so snapshotting is O(1) between mutations);
+* a probed **hit** is committed under the shard's write lock only after
+  **optimistic validation** — either the cache epoch is unchanged, or
+  the specific anchor is still live (its plan cached, not retired).
+  The certified bound ``S·G·L`` / ``S·R·L`` depends only on write-once
+  anchor fields, so a validated commit certifies exactly what a fully
+  serial run would have;
+* a **miss** makes the optimizer call *outside* the lock, collapsed
+  through a per-vector **single-flight** table so concurrent misses on
+  the same selectivity vector cost one optimizer call; only
+  ``manageCache`` mutations (register / evict / retire) hold the write
+  lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from ..core.manager import TemplateState
+from ..core.scr import SCR
+from ..core.technique import PlanChoice
+from ..engine.resilience import OptimizeUnavailableError
+from ..engine.tracing import TraceLog
+from ..optimizer.recost import ShrunkenMemo
+from ..query.instance import QueryInstance, SelectivityVector
+from .stats import ServingStats
+
+#: Probe/commit retries before degrading to the fully-serial path; a
+#: retry only happens when another thread invalidated the snapshot
+#: mid-probe, so contention this deep means serializing is cheaper.
+MAX_OPTIMISTIC_RETRIES = 3
+
+
+class TemplateShard:
+    """Thread-safe serving wrapper around one template's SCR."""
+
+    def __init__(
+        self,
+        state: TemplateState,
+        trace: Optional[TraceLog] = None,
+        flight_timeout_seconds: float = 30.0,
+    ) -> None:
+        self.state = state
+        self.scr: SCR = state.scr
+        self.engine = state.engine
+        self.trace = trace
+        self.flight_timeout_seconds = flight_timeout_seconds
+        self.lock = threading.RLock()
+        self.stats = ServingStats(template=state.template.name)
+        self._flight_lock = threading.Lock()
+        self._inflight: dict[tuple[float, ...], threading.Event] = {}
+
+    # -- public entry ---------------------------------------------------------
+
+    def process(self, instance: QueryInstance) -> PlanChoice:
+        """Serve one instance; safe to call from any number of threads."""
+        start = time.perf_counter()
+        self.engine.begin_instance(self.scr.instances_processed)
+        sv = self.engine.selectivity_vector(instance)
+        choice = self._serve(sv, depth=0)
+        if getattr(self.engine, "last_selectivity_degraded", False):
+            choice.certified = False
+        self.stats.observe(
+            time.perf_counter() - start, choice.check, choice.certified
+        )
+        return choice
+
+    # -- optimistic read path -------------------------------------------------
+
+    def _serve(self, sv: SelectivityVector, depth: int) -> PlanChoice:
+        if depth >= MAX_OPTIMISTIC_RETRIES:
+            return self._serve_locked(sv)
+        scr = self.scr
+        snapshot = scr.cache.snapshot()
+        decision = scr.get_plan.probe(sv, self._recost, entries=snapshot.entries)
+        if not decision.hit:
+            return self._miss(sv, decision, depth)
+        acquired_at = time.perf_counter()
+        with self.lock:
+            self.stats.add_lock_wait(time.perf_counter() - acquired_at)
+            if scr.cache.epoch == snapshot.epoch or self._still_valid(decision):
+                scr.get_plan.commit(decision)
+                return self._finish_locked(scr._hit_choice(decision))
+        # The anchor vanished (plan evicted / retired) between probe and
+        # commit: the certificate no longer stands, so re-probe fresh.
+        self.stats.note_epoch_retry()
+        if self.trace is not None:
+            self.trace.serving("epoch_retry", scr.instances_processed)
+        return self._serve(sv, depth + 1)
+
+    def _still_valid(self, decision) -> bool:
+        anchor = decision.anchor
+        return (
+            anchor is not None
+            and not anchor.retired
+            and self.scr.cache.has_plan(decision.plan_id)
+        )
+
+    def _serve_locked(self, sv: SelectivityVector) -> PlanChoice:
+        """Fully serial fallback: the whole getPlan/manageCache cycle
+        under the write lock (identical to serial SCR semantics)."""
+        acquired_at = time.perf_counter()
+        with self.lock:
+            self.stats.add_lock_wait(time.perf_counter() - acquired_at)
+            return self._finish_locked(self.scr._choose(sv))
+
+    # -- miss path with single-flight -----------------------------------------
+
+    def _miss(self, sv: SelectivityVector, decision, depth: int) -> PlanChoice:
+        key = sv.values
+        with self._flight_lock:
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = threading.Event()
+                self._inflight[key] = flight
+        if not leader:
+            # Another thread is optimizing this exact vector; wait for it
+            # to register, then re-probe — the fresh anchor (G = L = 1,
+            # S ≤ λ_r ≤ λ) guarantees a selectivity hit.
+            self.stats.note_single_flight()
+            if self.trace is not None:
+                self.trace.serving(
+                    "single_flight_collapse", self.scr.instances_processed
+                )
+            flight.wait(timeout=self.flight_timeout_seconds)
+            return self._serve(sv, depth + 1)
+        try:
+            return self._optimize_and_register(sv, decision)
+        finally:
+            with self._flight_lock:
+                self._inflight.pop(key, None)
+            flight.set()
+
+    def _optimize_and_register(self, sv: SelectivityVector, decision) -> PlanChoice:
+        scr = self.scr
+        try:
+            with self.stats.engine_calls.track():
+                result = scr._optimize(sv)
+        except OptimizeUnavailableError:
+            acquired_at = time.perf_counter()
+            with self.lock:
+                self.stats.add_lock_wait(time.perf_counter() - acquired_at)
+                fallback = scr._fallback_choice(sv, decision.recost_calls)
+                if fallback is None:
+                    raise  # empty cache: nothing can be served
+                return self._finish_locked(fallback)
+        acquired_at = time.perf_counter()
+        with self.lock:
+            self.stats.add_lock_wait(time.perf_counter() - acquired_at)
+            return self._finish_locked(
+                scr._register_optimized(sv, result, decision.recost_calls)
+            )
+
+    # -- shared plumbing ------------------------------------------------------
+
+    def _recost(self, shrunken: ShrunkenMemo, sv: SelectivityVector) -> float:
+        with self.stats.engine_calls.track():
+            return self.engine.recost(shrunken, sv)
+
+    def _finish_locked(self, choice: PlanChoice) -> PlanChoice:
+        """Per-instance technique bookkeeping; caller holds the lock."""
+        self.scr.instances_processed += 1
+        if choice.used_optimizer:
+            self.scr.optimizer_calls += 1
+        return choice

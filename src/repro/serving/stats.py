@@ -1,0 +1,144 @@
+"""Per-shard serving statistics for the concurrent front-end.
+
+Each :class:`~repro.serving.shard.TemplateShard` owns one
+:class:`ServingStats`; the manager aggregates them into the report the
+operator reads — throughput, latency percentiles (via the metrics
+layer's :class:`~repro.harness.metrics.LatencySummary`), time spent
+waiting on the shard lock, and the high-water mark of concurrent
+engine calls (how much optimizer/recost work actually overlapped).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..harness.metrics import LatencySummary
+
+
+class ConcurrencyGauge:
+    """Tracks how many engine calls are in flight and the peak seen."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._active = 0
+        self.peak = 0
+        self.total = 0
+
+    @contextmanager
+    def track(self):
+        with self._lock:
+            self._active += 1
+            self.total += 1
+            if self._active > self.peak:
+                self.peak = self._active
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._active -= 1
+
+    @property
+    def active(self) -> int:
+        return self._active
+
+
+@dataclass
+class ServingStats:
+    """Thread-safe counters and latency samples for one shard."""
+
+    template: str = ""
+    processed: int = 0
+    check_counts: dict[str, int] = field(default_factory=dict)
+    latencies_s: list[float] = field(default_factory=list)
+    lock_wait_seconds: float = 0.0
+    epoch_retries: int = 0
+    single_flight_collapsed: int = 0
+    batch_deduped: int = 0
+    uncertified: int = 0
+    engine_calls: ConcurrencyGauge = field(default_factory=ConcurrencyGauge)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _started_at: float = field(default_factory=time.perf_counter, repr=False)
+    _last_at: float = 0.0
+
+    def observe(self, latency_seconds: float, check: str, certified: bool) -> None:
+        """Record one served instance."""
+        with self._lock:
+            self.processed += 1
+            self.latencies_s.append(latency_seconds)
+            self.check_counts[check] = self.check_counts.get(check, 0) + 1
+            if not certified:
+                self.uncertified += 1
+            self._last_at = time.perf_counter()
+
+    def add_lock_wait(self, seconds: float) -> None:
+        with self._lock:
+            self.lock_wait_seconds += seconds
+
+    def note_epoch_retry(self) -> None:
+        with self._lock:
+            self.epoch_retries += 1
+
+    def note_single_flight(self) -> None:
+        with self._lock:
+            self.single_flight_collapsed += 1
+
+    def note_deduped(self, count: int = 1) -> None:
+        with self._lock:
+            self.batch_deduped += count
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def latency(self) -> LatencySummary:
+        with self._lock:
+            return LatencySummary.from_seconds(self.latencies_s)
+
+    @property
+    def throughput_per_second(self) -> float:
+        """Instances per second over the shard's active window."""
+        with self._lock:
+            if not self.processed or self._last_at <= self._started_at:
+                return 0.0
+            return self.processed / (self._last_at - self._started_at)
+
+    def row(self) -> dict[str, object]:
+        """One report row (matches the harness table format)."""
+        latency = self.latency
+        return {
+            "template": self.template,
+            "processed": self.processed,
+            "throughput_s": round(self.throughput_per_second, 1),
+            "p50_ms": round(latency.p50_ms, 3),
+            "p99_ms": round(latency.p99_ms, 3),
+            "lock_wait_ms": round(self.lock_wait_seconds * 1e3, 3),
+            "peak_engine_conc": self.engine_calls.peak,
+            "sf_collapsed": self.single_flight_collapsed,
+            "deduped": self.batch_deduped,
+            "epoch_retries": self.epoch_retries,
+            "uncertified": self.uncertified,
+        }
+
+
+def merge_rows(stats: list[ServingStats]) -> dict[str, object]:
+    """Fleet-wide aggregate across shards (latencies pooled)."""
+    pooled: list[float] = []
+    for s in stats:
+        with s._lock:
+            pooled.extend(s.latencies_s)
+    latency = LatencySummary.from_seconds(pooled)
+    return {
+        "template": "TOTAL",
+        "processed": sum(s.processed for s in stats),
+        "throughput_s": round(sum(s.throughput_per_second for s in stats), 1),
+        "p50_ms": round(latency.p50_ms, 3),
+        "p99_ms": round(latency.p99_ms, 3),
+        "lock_wait_ms": round(sum(s.lock_wait_seconds for s in stats) * 1e3, 3),
+        "peak_engine_conc": max((s.engine_calls.peak for s in stats), default=0),
+        "sf_collapsed": sum(s.single_flight_collapsed for s in stats),
+        "deduped": sum(s.batch_deduped for s in stats),
+        "epoch_retries": sum(s.epoch_retries for s in stats),
+        "uncertified": sum(s.uncertified for s in stats),
+    }

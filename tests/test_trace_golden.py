@@ -1,0 +1,92 @@
+"""Golden-trace regression test for serial SCR semantics.
+
+Serializes the full :class:`TraceLog` event sequence of a small
+canonical workload under the *serial* technique stack and compares it
+byte-for-byte against a checked-in JSON fixture.  Concurrency-motivated
+refactors of ``get_plan.py`` / ``manage_cache.py`` / ``scr.py`` (probe/
+commit splits, epoch bookkeeping, choice-builder extraction) must not
+change what the serial path decides, traces, or certifies — any drift
+fails here before it can hide behind interleaving.
+
+Regenerate after an *intentional* semantic change with::
+
+    PYTHONPATH=src:tests python tests/test_trace_golden.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.scr import SCR
+from repro.engine.database import Database
+from repro.engine.tracing import TraceLog
+from repro.query.instance import QueryInstance
+from repro.query.template import QueryTemplate, join, range_predicate
+from repro.workload.generator import generate_selectivity_vectors
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_trace.json"
+
+
+def canonical_template() -> QueryTemplate:
+    return QueryTemplate(
+        name="golden_join",
+        database="toy",
+        tables=["orders", "cust"],
+        joins=[join("orders", "o_cust", "cust", "c_id")],
+        parameterized=[
+            range_predicate("orders", "o_date", "<="),
+            range_predicate("cust", "c_bal", "<="),
+        ],
+    )
+
+
+def build_golden_trace() -> list[dict]:
+    """The canonical run: one template, 40 seeded instances, budget 3."""
+    from conftest import build_toy_schema
+
+    db = Database.create(build_toy_schema(), seed=11)
+    template = canonical_template()
+    trace = TraceLog()
+    engine = db.engine(template)
+    engine.trace = trace
+    scr = SCR(engine, lam=2.0, plan_budget=3, trace=trace)
+    for sv in generate_selectivity_vectors(2, 40, seed=21):
+        scr.process(QueryInstance(template.name, sv=sv))
+    engine.trace = None  # the engine object is cached per database
+    return trace.to_jsonable()
+
+
+def serialize(rows: list[dict]) -> str:
+    return json.dumps(rows, indent=1, sort_keys=True) + "\n"
+
+
+def test_serial_trace_matches_golden_fixture():
+    assert FIXTURE.exists(), (
+        f"missing fixture {FIXTURE}; regenerate with "
+        "`PYTHONPATH=src:tests python tests/test_trace_golden.py --regen`"
+    )
+    expected = FIXTURE.read_text()
+    actual = serialize(build_golden_trace())
+    assert actual == expected, (
+        "serial SCR trace drifted from the golden fixture — if the "
+        "change is intentional, regenerate the fixture (see module "
+        "docstring); if not, a concurrency refactor just changed serial "
+        "semantics"
+    )
+
+
+def test_golden_trace_is_deterministic():
+    """The canonical run itself must be reproducible in-process."""
+    assert serialize(build_golden_trace()) == serialize(build_golden_trace())
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+        FIXTURE.write_text(serialize(build_golden_trace()))
+        print(f"wrote {FIXTURE}")
+    else:
+        print(__doc__)
