@@ -10,6 +10,7 @@ report.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -108,15 +109,23 @@ class EngineAPI:
         self.estimator = estimator
         self.counters = EngineCounters()
         self.trace = trace
-        self._instance_index = -1
+        # Thread-local: under concurrent serving several worker threads
+        # share one engine, and a plain attribute would misattribute
+        # trace events to whichever instance called begin_instance last.
+        self._index_tls = threading.local()
+
+    @property
+    def _instance_index(self) -> int:
+        return getattr(self._index_tls, "index", -1)
 
     def begin_instance(self, index: int) -> None:
-        """Tag subsequent API calls with the workload instance index.
+        """Tag this thread's subsequent API calls with the workload
+        instance index.
 
         Techniques call this once per arriving instance so trace events
         are attributable to the instance that triggered them.
         """
-        self._instance_index = index
+        self._index_tls.index = index
 
     def selectivity_vector(self, instance: QueryInstance) -> SelectivityVector:
         """Compute the instance's sVector (cheap; always on the hot path)."""

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 import random
+import threading
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -210,12 +211,25 @@ class ResilientEngineAPI:
             failure_threshold=self.policy.breaker_failure_threshold,
             cooldown_calls=self.policy.breaker_cooldown_calls,
         )
-        self._index = -1
         self._last_good_sv: Optional[SelectivityVector] = None
-        #: True iff the most recent selectivity_vector answer was a
-        #: degraded (stale + inflated) fallback; techniques read this to
-        #: mark the instance uncertified.
-        self.last_selectivity_degraded = False
+        # Per-call state lives in thread-local storage: under concurrent
+        # serving several threads share one engine, and a shared flag or
+        # instance index would let thread B's call clobber thread A's
+        # before A reads it (losing A's uncertified marking).
+        self._tls = threading.local()
+
+    @property
+    def _index(self) -> int:
+        return getattr(self._tls, "index", -1)
+
+    @property
+    def last_selectivity_degraded(self) -> bool:
+        """True iff *this thread's* most recent selectivity_vector answer
+        was a degraded (stale + inflated) fallback; techniques read this
+        to mark the instance uncertified.  Prefer
+        :meth:`selectivity_vector_ex`, which returns the status with the
+        vector instead of via shared state."""
+        return getattr(self._tls, "selectivity_degraded", False)
 
     # -- façade --------------------------------------------------------------
 
@@ -232,7 +246,7 @@ class ResilientEngineAPI:
         return self.inner.trace
 
     def begin_instance(self, index: int) -> None:
-        self._index = index
+        self._tls.index = index
         self.inner.begin_instance(index)
 
     def reset_counters(self) -> None:
@@ -315,9 +329,23 @@ class ResilientEngineAPI:
         The inflation pushes every selectivity *up* (clamped to 1.0),
         which shrinks G·L budgets and recost ratios conservatively; the
         caller still marks the instance uncertified via
-        :attr:`last_selectivity_degraded`.
+        :attr:`last_selectivity_degraded` (same thread only) or, better,
+        the paired status from :meth:`selectivity_vector_ex`.
         """
-        self.last_selectivity_degraded = False
+        return self.selectivity_vector_ex(instance)[0]
+
+    def selectivity_vector_ex(
+        self, instance: QueryInstance
+    ) -> tuple[SelectivityVector, bool]:
+        """sVector plus its per-call degradation status.
+
+        Returns ``(sv, degraded)`` where ``degraded`` is True iff the
+        vector is a stale-inflated fallback and the instance must be
+        served uncertified.  Returning the status with the vector (and
+        mirroring it thread-locally) keeps it race-free when many
+        threads share one engine.
+        """
+        self._tls.selectivity_degraded = False
         try:
             sv = self._call_with_retries(
                 "selectivity",
@@ -334,15 +362,15 @@ class ResilientEngineAPI:
                  for s in self._last_good_sv]
             )
             self.counters.resilience.selectivity_fallbacks += 1
-            self.last_selectivity_degraded = True
+            self._tls.selectivity_degraded = True
             if self.trace is not None:
                 self.trace.degraded(
                     "selectivity", self._index,
                     detail=f"stale vector inflated x{self.policy.svector_inflation:g}",
                 )
-            return inflated
+            return inflated, True
         self._last_good_sv = sv
-        return sv
+        return sv, False
 
     def optimize(self, sv: SelectivityVector) -> OptimizationResult:
         """Optimize with retries; exhaustion raises

@@ -171,10 +171,11 @@ class ConcurrentPQOManager(PQOManager):
         with self._counter_lock:
             state.instances_seen += 1
             self._since_rebalance += 1
-            due = (
-                self.global_plan_budget is not None
-                and self._since_rebalance >= self.rebalance_every
-            )
+            # Rebalance points also run the quarantine sweep, so they
+            # are due on schedule even without a global plan budget
+            # (where _apply_budgets is a no-op but breaker-open
+            # templates must still be marked quarantined).
+            due = self._since_rebalance >= self.rebalance_every
         if due:
             self._maybe_rebalance()
 

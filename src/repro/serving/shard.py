@@ -24,6 +24,7 @@ import threading
 import time
 from typing import Optional
 
+from ..core.get_plan import CheckKind
 from ..core.manager import TemplateState
 from ..core.scr import SCR
 from ..core.technique import PlanChoice
@@ -57,21 +58,51 @@ class TemplateShard:
         self.stats = ServingStats(template=state.template.name)
         self._flight_lock = threading.Lock()
         self._inflight: dict[tuple[float, ...], threading.Event] = {}
+        # Instance sequence numbers for trace attribution are allocated
+        # atomically here and passed explicitly: reading the SCR's
+        # lock-protected counter lock-free would hand the same index to
+        # concurrent threads.
+        self._seq_lock = threading.Lock()
+        self._next_seq = state.scr.instances_processed
 
     # -- public entry ---------------------------------------------------------
 
     def process(self, instance: QueryInstance) -> PlanChoice:
         """Serve one instance; safe to call from any number of threads."""
         start = time.perf_counter()
-        self.engine.begin_instance(self.scr.instances_processed)
-        sv = self.engine.selectivity_vector(instance)
+        with self._seq_lock:
+            seq = self._next_seq
+            self._next_seq += 1
+        self.engine.begin_instance(seq)
+        sv, degraded = self._selectivity_vector(instance)
         choice = self._serve(sv, depth=0)
-        if getattr(self.engine, "last_selectivity_degraded", False):
+        if degraded:
+            # The sVector was a stale fallback: every check ran against
+            # approximate selectivities, so no bound is certified.
             choice.certified = False
         self.stats.observe(
             time.perf_counter() - start, choice.check, choice.certified
         )
         return choice
+
+    def _selectivity_vector(
+        self, instance: QueryInstance
+    ) -> tuple[SelectivityVector, bool]:
+        """sVector plus per-call degradation status.
+
+        The resilient engine's ``selectivity_vector_ex`` returns the
+        status with the vector; a shared ``last_selectivity_degraded``
+        flag must not be read here, since another thread's call could
+        reset it between our call and the read, silently certifying an
+        instance served from a degraded (stale, uncertified) vector.
+        """
+        ex = getattr(self.engine, "selectivity_vector_ex", None)
+        if ex is not None:
+            return ex(instance)
+        sv = self.engine.selectivity_vector(instance)
+        # Same-thread best-effort fallback for engine wrappers that only
+        # expose the legacy flag.
+        return sv, bool(getattr(self.engine, "last_selectivity_degraded", False))
 
     # -- optimistic read path -------------------------------------------------
 
@@ -86,7 +117,7 @@ class TemplateShard:
         acquired_at = time.perf_counter()
         with self.lock:
             self.stats.add_lock_wait(time.perf_counter() - acquired_at)
-            if scr.cache.epoch == snapshot.epoch or self._still_valid(decision):
+            if self._commit_valid(decision, snapshot):
                 scr.get_plan.commit(decision)
                 return self._finish_locked(scr._hit_choice(decision))
         # The anchor vanished (plan evicted / retired) between probe and
@@ -96,13 +127,25 @@ class TemplateShard:
             self.trace.serving("epoch_retry", scr.instances_processed)
         return self._serve(sv, depth + 1)
 
-    def _still_valid(self, decision) -> bool:
+    def _commit_valid(self, decision, snapshot) -> bool:
+        """Optimistic validation of a probed hit; caller holds the lock.
+
+        Retiring an anchor (Appendix G) flips its flag *without* bumping
+        the cache epoch, so the retired bit must be re-read here even on
+        the epoch fast-path — otherwise a cost-check hit probed just
+        before a concurrent retirement would certify a bound the
+        violation detector already invalidated.  Retired anchors still
+        serve selectivity hits (serial semantics keep them in the
+        selectivity check); only cost-check certificates die with them.
+        """
         anchor = decision.anchor
-        return (
-            anchor is not None
-            and not anchor.retired
-            and self.scr.cache.has_plan(decision.plan_id)
-        )
+        if anchor is None:
+            return False
+        if decision.check is CheckKind.COST and anchor.retired:
+            return False
+        if self.scr.cache.epoch == snapshot.epoch:
+            return True
+        return self.scr.cache.has_plan(decision.plan_id)
 
     def _serve_locked(self, sv: SelectivityVector) -> PlanChoice:
         """Fully serial fallback: the whole getPlan/manageCache cycle
@@ -149,6 +192,9 @@ class TemplateShard:
             acquired_at = time.perf_counter()
             with self.lock:
                 self.stats.add_lock_wait(time.perf_counter() - acquired_at)
+                # Book the miss (hit/miss counters, recost-call totals)
+                # exactly as the serial path does before degrading.
+                scr.get_plan.commit(decision)
                 fallback = scr._fallback_choice(sv, decision.recost_calls)
                 if fallback is None:
                     raise  # empty cache: nothing can be served
@@ -156,6 +202,7 @@ class TemplateShard:
         acquired_at = time.perf_counter()
         with self.lock:
             self.stats.add_lock_wait(time.perf_counter() - acquired_at)
+            scr.get_plan.commit(decision)
             return self._finish_locked(
                 scr._register_optimized(sv, result, decision.recost_calls)
             )

@@ -432,3 +432,91 @@ class TestInstanceIndexThreading:
         assert all(e.sequence_id >= 0 for e in api_events)
         # Indices must span the workload, not stick at one value.
         assert len({e.sequence_id for e in api_events}) > 1
+
+
+class TestPerCallDegradedStatus:
+    """The degraded-sVector status must be per call / per thread, never a
+    shared flag another thread's call can reset before it is read."""
+
+    def _flaky_resilient(self, toy_db, toy_template, fail_calls):
+        engine = make_engine(toy_db, toy_template)
+        flaky = ScriptedFailures(engine, fail_selectivity=fail_calls)
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=2, base_backoff=0.0, max_backoff=0.0),
+            svector_inflation=2.0,
+        )
+        return ResilientEngineAPI(flaky, policy=policy, sleep=NO_SLEEP)
+
+    def test_selectivity_vector_ex_returns_status(self, toy_db, toy_template):
+        resilient = self._flaky_resilient(toy_db, toy_template, {2, 3})
+        sv, degraded = resilient.selectivity_vector_ex(
+            QueryInstance("toy_join", sv=SelectivityVector.of(0.3, 0.6))
+        )
+        assert not degraded
+        assert sv == SelectivityVector.of(0.3, 0.6)
+        sv, degraded = resilient.selectivity_vector_ex(
+            QueryInstance("toy_join", sv=SelectivityVector.of(0.9, 0.9))
+        )
+        assert degraded
+        assert sv == SelectivityVector.of(0.6, 1.0)  # stale, inflated
+
+    def test_degraded_flag_survives_other_threads_calls(
+        self, toy_db, toy_template
+    ):
+        import threading
+
+        # Raw call 1 (main thread) succeeds and seeds last-known-good;
+        # calls 2+3 (worker's attempt + retry) fail -> degraded; call 4
+        # (main thread again) succeeds and must NOT reset the worker's
+        # view of its own degradation.
+        resilient = self._flaky_resilient(toy_db, toy_template, {2, 3})
+        resilient.selectivity_vector(
+            QueryInstance("toy_join", sv=SelectivityVector.of(0.3, 0.6))
+        )
+        worker_done = threading.Event()
+        main_done = threading.Event()
+        observed: dict[str, bool] = {}
+
+        def worker():
+            _, degraded = resilient.selectivity_vector_ex(
+                QueryInstance("toy_join", sv=SelectivityVector.of(0.9, 0.9))
+            )
+            observed["returned"] = degraded
+            worker_done.set()
+            main_done.wait(timeout=10)
+            # Read after the main thread's good call: a shared flag
+            # would have been reset to False by now.
+            observed["flag_after"] = resilient.last_selectivity_degraded
+
+        t = threading.Thread(target=worker)
+        t.start()
+        assert worker_done.wait(timeout=10)
+        _, degraded = resilient.selectivity_vector_ex(
+            QueryInstance("toy_join", sv=SelectivityVector.of(0.4, 0.5))
+        )
+        assert not degraded
+        assert not resilient.last_selectivity_degraded
+        main_done.set()
+        t.join(timeout=10)
+        assert observed == {"returned": True, "flag_after": True}
+
+    def test_instance_index_is_thread_local(self, toy_db, toy_template):
+        import threading
+
+        engine = make_engine(toy_db, toy_template)
+        resilient = ResilientEngineAPI(engine, policy=FAST_POLICY, sleep=NO_SLEEP)
+        resilient.begin_instance(1)
+        worker_done = threading.Event()
+
+        def worker():
+            resilient.begin_instance(2)
+            worker_done.set()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        assert worker_done.wait(timeout=10)
+        t.join(timeout=10)
+        # The worker's begin_instance must not clobber this thread's
+        # attribution index on either layer.
+        assert resilient._index == 1
+        assert engine._instance_index == 1

@@ -312,3 +312,104 @@ class TestSnapshotSemantics:
         assert len(snap1.entries) == 1
         # The old snapshot still reflects the pre-mutation state.
         assert len(snap0.entries) == 0
+
+
+class TestCommitValidation:
+    """Optimistic-commit validation must re-read the retired flag under
+    the lock: retiring an anchor (Appendix G) does not bump the cache
+    epoch, so the epoch fast-path alone would certify a cost bound the
+    violation detector just invalidated."""
+
+    def _shard_with_anchor(self):
+        from repro.workload.generator import generate_selectivity_vectors
+
+        db = Database.create(build_toy_schema(), seed=11)
+        template = serving_templates()[0]
+        manager = ConcurrentPQOManager(database=db, max_workers=1)
+        manager.register(template, lam=LAM)
+        sv = generate_selectivity_vectors(2, 1, seed=3)[0]
+        manager.process(QueryInstance(template.name, sv=sv))
+        manager.close()
+        shard = manager.shard(template.name)
+        entry = next(shard.scr.cache.instances())
+        return shard, entry
+
+    def test_retired_anchor_rejected_on_epoch_fast_path(self):
+        from repro.core.get_plan import CheckKind, GetPlanDecision
+
+        shard, entry = self._shard_with_anchor()
+        cache = shard.scr.cache
+        snapshot = cache.snapshot()
+        cost_hit = GetPlanDecision(
+            plan_id=entry.plan_id, check=CheckKind.COST, anchor=entry,
+            recost_calls=1, recost_ratio=1.0, g=1.0, l=1.0,
+        )
+        assert shard._commit_valid(cost_hit, snapshot)
+
+        entry.retired = True
+        # Retirement leaves the epoch untouched -- exactly the hole the
+        # fast-path-only validation had.
+        assert cache.epoch == snapshot.epoch
+        assert not shard._commit_valid(cost_hit, snapshot)
+
+    def test_retired_anchor_still_serves_selectivity_hits(self):
+        from repro.core.get_plan import CheckKind, GetPlanDecision
+
+        shard, entry = self._shard_with_anchor()
+        snapshot = shard.scr.cache.snapshot()
+        entry.retired = True
+        sel_hit = GetPlanDecision(
+            plan_id=entry.plan_id, check=CheckKind.SELECTIVITY, anchor=entry,
+            g=1.0, l=1.0,
+        )
+        # Serial semantics keep retired anchors in the selectivity check.
+        assert shard._commit_valid(sel_hit, snapshot)
+
+
+class TestMissAccounting:
+    def test_concurrent_hit_miss_counters_match_serial_semantics(self):
+        _, templates, manager, _, _ = run_stress(SEED, NUM_THREADS)
+        for template in templates:
+            scr = manager.state(template.name).scr
+            gp = scr.get_plan
+            # Every served instance commits exactly one decision, and
+            # every miss corresponds to one optimizer call (no faults
+            # are injected here, so there are no fallbacks).
+            assert (
+                gp.selectivity_hits + gp.cost_hits + gp.misses
+                == scr.instances_processed
+            )
+            assert gp.misses == scr.optimizer_calls
+            assert gp.misses >= 1
+            assert gp.total_recost_calls >= 0
+
+
+class TestQuarantineWithoutGlobalBudget:
+    def test_breaker_open_quarantines_on_rebalance_schedule(self):
+        from repro.engine.resilience import (
+            BreakerState,
+            resilient_engine_factory,
+        )
+        from repro.workload.generator import generate_selectivity_vectors
+
+        db = Database.create(build_toy_schema(), seed=11)
+        template = serving_templates()[0]
+        manager = ConcurrentPQOManager(
+            database=db,
+            max_workers=2,
+            rebalance_every=5,
+            engine_wrapper=resilient_engine_factory(sleep=lambda s: None),
+        )
+        manager.register(template, lam=LAM)
+        assert manager.global_plan_budget is None
+
+        manager.state(template.name).engine.recost_breaker.state = (
+            BreakerState.OPEN
+        )
+        svs = generate_selectivity_vectors(2, 6, seed=5)
+        for sv in svs:
+            manager.process(QueryInstance(template.name, sv=sv))
+        manager.close()
+        # The quarantine sweep must run at rebalance points even with no
+        # global plan budget configured.
+        assert manager.quarantined_templates == [template.name]
