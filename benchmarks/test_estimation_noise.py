@@ -20,7 +20,7 @@ from repro.core.scr import SCR
 from repro.engine.api import EngineAPI
 from repro.harness.reporting import format_table
 from repro.harness.runner import WorkloadRunner
-from repro.query.instance import QueryInstance, SelectivityVector
+from repro.query.instance import SelectivityVector
 from repro.workload.generator import instances_for_template
 from repro.workload.templates import tpch_templates
 

@@ -6,7 +6,6 @@ shrinks it by ~70% or more for complex queries.  This benchmark
 measures our implementation's actual ratio per database.
 """
 
-import pytest
 
 from conftest import run_once
 from repro.engine.api import EngineAPI

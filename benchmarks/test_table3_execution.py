@@ -8,7 +8,6 @@ optimization times (engine counters) and actual plan execution on the
 synthetic TPC-DS data.
 """
 
-import pytest
 
 from conftest import run_once
 from repro.baselines import PCM, Ellipse, OptimizeAlways, OptimizeOnce, Ranges

@@ -10,7 +10,6 @@ SCR's regions adapt to position while circles/rectangles don't.
 Run:  python examples/plan_regions_explorer.py
 """
 
-import math
 
 from repro import Database, tpch_schema
 from repro.core.regions import SelectivityRegion

@@ -12,9 +12,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import Database, SCR, tpch_schema
-from repro.engine.api import EngineAPI
 from repro.harness.oracle import Oracle
-from repro.optimizer.optimizer import QueryOptimizer
 from repro.query import QueryTemplate, join, range_predicate
 from repro.workload import instances_for_template
 

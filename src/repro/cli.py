@@ -101,7 +101,6 @@ def cmd_compare(args) -> None:
 
 def cmd_plan_diagram(args) -> None:
     from .analysis.plan_diagram import compute_plan_diagram
-    from .engine.api import EngineAPI
 
     template = _find_template(args.template)
     if template.dimensions != 2:

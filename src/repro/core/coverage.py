@@ -18,7 +18,7 @@ import numpy as np
 
 from ..optimizer.recost import ShrunkenMemo
 from ..query.instance import SelectivityVector
-from .bounds import BoundingFunction, LINEAR_BOUND, compute_gl, compute_l
+from .bounds import BoundingFunction, LINEAR_BOUND, compute_gl
 from .plan_cache import PlanCache
 
 RecostFn = Callable[[ShrunkenMemo, SelectivityVector], float]

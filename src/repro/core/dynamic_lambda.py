@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Callable, Union
 
 
 @dataclass(frozen=True)
@@ -40,3 +41,49 @@ class DynamicLambda:
     def __call__(self, cost: float) -> float:
         decay = math.exp(-max(cost, 0.0) / self.cost_scale)
         return self.lambda_min + (self.lambda_max - self.lambda_min) * decay
+
+
+class PressureRelaxedLambda:
+    """Pressure-driven λ relaxation — the brownout hook into dynamic λ.
+
+    Wraps a base λ (a constant or any cost→λ schedule such as
+    :class:`DynamicLambda`) and widens it by ``relax_factor`` whenever
+    ``level_provider()`` reports a brownout level of 1 (λ-relaxed) or
+    higher, clamped to ``ceiling``.  Widening λ trades optimality for
+    optimizer calls *within the guarantee framework*: instances
+    certified under pressure still satisfy ``SO ≤ λ_relaxed``, they just
+    carry the wider bound.  At level 0 the base λ is returned exactly,
+    so installing the hook is behaviour-neutral when the serving layer
+    is not under pressure.
+
+    ``level_provider`` is a plain ``() -> int`` so this core-layer hook
+    has no dependency on the serving package; the serving coordinator
+    passes its brownout level accessor.
+    """
+
+    def __init__(
+        self,
+        base: Union[float, Callable[[float], float]],
+        level_provider: Callable[[], int],
+        relax_factor: float = 1.5,
+        ceiling: float | None = None,
+    ) -> None:
+        if relax_factor < 1.0:
+            raise ValueError("relax_factor must be >= 1")
+        if ceiling is not None and ceiling < 1.0:
+            raise ValueError("ceiling must be >= 1")
+        self.base = base
+        self.level_provider = level_provider
+        self.relax_factor = relax_factor
+        self.ceiling = ceiling
+
+    def base_lambda(self, cost: float) -> float:
+        return self.base(cost) if callable(self.base) else self.base
+
+    def __call__(self, cost: float) -> float:
+        lam = self.base_lambda(cost)
+        if self.level_provider() >= 1:
+            lam *= self.relax_factor
+            if self.ceiling is not None:
+                lam = min(lam, self.ceiling)
+        return max(lam, 1.0)

@@ -134,6 +134,7 @@ class GetPlan:
         sv: SelectivityVector,
         recost: Callable[[ShrunkenMemo, SelectivityVector], float],
         entries: Optional[Iterable[InstanceEntry]] = None,
+        max_recost: Optional[int] = None,
     ) -> GetPlanDecision:
         """Both checks, without committing any cache bookkeeping.
 
@@ -142,6 +143,10 @@ class GetPlan:
         entries so the scan runs lock-free, then calls :meth:`commit`
         under the shard lock once the snapshot is validated.  Other than
         the advisory scan counter, ``probe`` does not mutate the cache.
+
+        ``max_recost`` lowers the cost-check cap for this call only —
+        the overload path passes ``0`` to run the (free) selectivity
+        check while spending zero engine calls under brownout.
         """
         if entries is None:
             entries = self.cache.instances()
@@ -166,8 +171,11 @@ class GetPlan:
         # ---- cost check (capped number of Recost calls, ordered per
         #      the configured heuristic; G·L ascending is the paper's)
         self._order_candidates(candidates)
+        cap = self.max_recost_candidates
+        if max_recost is not None:
+            cap = min(cap, max_recost)
         recost_calls = 0
-        for _, g, l, entry in candidates[: self.max_recost_candidates]:
+        for _, g, l, entry in candidates[:cap]:
             plan = self.cache.maybe_plan(entry.plan_id)
             if plan is None:
                 continue  # evicted under a concurrent probe; skip

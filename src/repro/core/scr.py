@@ -186,6 +186,18 @@ class SCR(OnlinePQOTechnique):
             plan=chosen.plan,
         )
 
+    def _nearest_entry(self, sv: SelectivityVector):
+        """The cached anchor closest to ``sv`` in log-selectivity space —
+        the best available plan when no bound can be verified (optimizer
+        down, deadline exhausted, brownout)."""
+        best = None
+        best_distance = float("inf")
+        for entry in self.cache.instances():
+            distance = entry.sv.log_distance(sv)
+            if distance < best_distance:
+                best, best_distance = entry, distance
+        return best
+
     def _fallback_choice(
         self, sv: SelectivityVector, recost_calls: int
     ) -> Optional[PlanChoice]:
@@ -194,12 +206,7 @@ class SCR(OnlinePQOTechnique):
         The plan carries no verified λ bound, so the choice is flagged
         ``uncertified`` — the guarantee is never silently weakened.
         """
-        best = None
-        best_distance = float("inf")
-        for entry in self.cache.instances():
-            distance = entry.sv.log_distance(sv)
-            if distance < best_distance:
-                best, best_distance = entry, distance
+        best = self._nearest_entry(sv)
         if best is None:
             return None
         plan = self.cache.plan(best.plan_id)
@@ -218,6 +225,36 @@ class SCR(OnlinePQOTechnique):
             plan_signature=plan.signature,
             used_optimizer=False,
             check="fallback",
+            recost_calls=recost_calls,
+            plan=plan.plan,
+            certified=False,
+        )
+
+    def _overload_choice(
+        self, sv: SelectivityVector, recost_calls: int
+    ) -> Optional[PlanChoice]:
+        """Serve the nearest cached plan under overload degradation.
+
+        Unlike :meth:`_fallback_choice` this is a *load* decision, not
+        an engine fault: it books no resilience counters and is labeled
+        ``check="overload"`` so operators can tell brownout serves from
+        engine-failure fallbacks.  The choice is uncertified — no λ
+        bound was verified for it.  Returns ``None`` on an empty cache
+        (the caller sheds the request).
+        """
+        best = self._nearest_entry(sv)
+        if best is None:
+            return None
+        plan = self.cache.plan(best.plan_id)
+        if self.trace is not None:
+            self.trace.decision(
+                self.instances_processed, "overload", plan.signature
+            )
+        return PlanChoice(
+            shrunken_memo=plan.shrunken_memo,
+            plan_signature=plan.signature,
+            used_optimizer=False,
+            check="overload",
             recost_calls=recost_calls,
             plan=plan.plan,
             certified=False,

@@ -33,6 +33,7 @@ import random
 import threading
 import time
 import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Optional, TypeVar
@@ -223,6 +224,30 @@ class ResilientEngineAPI:
         return getattr(self._tls, "index", -1)
 
     @property
+    def _budget_deadline(self) -> Optional[float]:
+        """This thread's end-to-end call budget (absolute monotonic time)."""
+        return getattr(self._tls, "budget_deadline", None)
+
+    @contextmanager
+    def call_budget(self, expires_at: Optional[float]):
+        """Bound every engine call in the block by one shared deadline.
+
+        ``expires_at`` is an absolute :func:`time.monotonic` value — the
+        *remaining* budget of an end-to-end serving deadline.  While the
+        scope is active (thread-locally, so concurrent servers sharing
+        one engine don't clobber each other): a call starting past the
+        budget fails immediately, a call *answering* past it is treated
+        as timed out (fail-closed, like a per-API deadline overrun), and
+        retries whose backoff would overshoot the budget are skipped.
+        """
+        prev = getattr(self._tls, "budget_deadline", None)
+        self._tls.budget_deadline = expires_at
+        try:
+            yield
+        finally:
+            self._tls.budget_deadline = prev
+
+    @property
     def last_selectivity_degraded(self) -> bool:
         """True iff *this thread's* most recent selectivity_vector answer
         was a degraded (stale + inflated) fallback; techniques read this
@@ -276,12 +301,21 @@ class ResilientEngineAPI:
         validate: Optional[Callable[[T], bool]] = None,
     ) -> T:
         """One guarded call: deadline enforcement + result validation."""
+        budget = self._budget_deadline
+        if budget is not None and time.monotonic() >= budget:
+            raise EngineTimeoutError(
+                f"{api} call skipped: end-to-end budget exhausted"
+            )
         start = time.perf_counter()
         result = fn()
         elapsed = time.perf_counter() - start
         if deadline is not None and elapsed > deadline:
             raise EngineTimeoutError(
                 f"{api} call took {elapsed:.4f}s > deadline {deadline:.4f}s"
+            )
+        if budget is not None and time.monotonic() > budget:
+            raise EngineTimeoutError(
+                f"{api} call answered past its end-to-end budget"
             )
         if validate is not None and not validate(result):
             raise ValueError(f"{api} returned an invalid result: {result!r}")
@@ -310,6 +344,12 @@ class ResilientEngineAPI:
                     on_failure()
                 if attempt < retry.max_attempts:
                     backoff = retry.backoff(attempt, self._rng)
+                    budget = self._budget_deadline
+                    if (
+                        budget is not None
+                        and time.monotonic() + backoff >= budget
+                    ):
+                        break  # budget can't fund another attempt
                     self.counters.resilience.retries += 1
                     if self.trace is not None:
                         self.trace.retry(api, self._index, attempt, backoff)

@@ -28,6 +28,8 @@ class TraceEventKind(Enum):
     DEGRADED = "degraded"    # a fallback answer was served
     # Concurrent-serving-layer events (shard scheduling decisions):
     SERVING = "serving"      # batch admission, single-flight, revalidation
+    # Overload-protection events (admission control, brownout, shedding):
+    OVERLOAD = "overload"    # brownout transitions, shed/uncertified serves
 
 
 @dataclass(frozen=True)
@@ -112,6 +114,14 @@ class TraceLog:
         ``single_flight_collapse`` or ``epoch_retry``."""
         self.record(TraceEvent(
             kind=TraceEventKind.SERVING, sequence_id=sequence_id,
+            check=event, detail=detail,
+        ))
+
+    def overload(self, event: str, sequence_id: int, detail: str = "") -> None:
+        """An overload-protection decision with its reason code, e.g.
+        ``shed`` / ``uncertified_serve`` / ``brownout`` transitions."""
+        self.record(TraceEvent(
+            kind=TraceEventKind.OVERLOAD, sequence_id=sequence_id,
             check=event, detail=detail,
         ))
 

@@ -23,9 +23,8 @@ import numpy as np
 from ..catalog.datagen import DatabaseData
 from ..optimizer.operators import PhysicalOp
 from ..optimizer.plans import PhysicalPlan, PlanNode
-from ..query.expressions import ComparisonOp
 from ..query.instance import QueryInstance
-from ..query.template import AggregationKind, QueryTemplate
+from ..query.template import QueryTemplate
 
 
 @dataclass

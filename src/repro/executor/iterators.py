@@ -15,7 +15,7 @@ pedagogy, not performance.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterator, Optional
+from typing import Iterator
 
 import numpy as np
 

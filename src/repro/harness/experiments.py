@@ -14,7 +14,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..baselines import PCM, Density, Ellipse, OptimizeAlways, OptimizeOnce, Ranges
+from ..baselines import PCM, Density, Ellipse, OptimizeOnce, Ranges
 from ..core.dynamic_lambda import DynamicLambda
 from ..core.scr import SCR
 from ..engine.api import EngineAPI

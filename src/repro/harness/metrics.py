@@ -150,6 +150,64 @@ class LatencySummary:
         )
 
 
+@dataclass(frozen=True)
+class ServiceLevelSummary:
+    """Outcome-labeled service summary for a run under load.
+
+    The overload-protected serving layer resolves every submission as
+    exactly one of ``certified`` (λ bound verified), ``uncertified``
+    (served from cache without a verified bound) or ``shed`` (refused,
+    nothing cached).  Given the per-response latencies of the *served*
+    outcomes and the shed count, this summarizes the service level the
+    operator actually delivered against a deadline budget.
+    """
+
+    total: int
+    certified: int
+    uncertified: int
+    shed: int
+    deadline_hit_rate: float
+    p99_in_deadline_ms: float
+
+    @classmethod
+    def from_outcomes(
+        cls,
+        latencies_s: Sequence[float],
+        certified_flags: Sequence[bool],
+        shed: int,
+        deadline_seconds: float | None = None,
+    ) -> "ServiceLevelSummary":
+        if len(latencies_s) != len(certified_flags):
+            raise ValueError("one latency sample per served outcome required")
+        arr = np.asarray(list(latencies_s), dtype=np.float64)
+        served = int(arr.size)
+        certified = int(sum(bool(c) for c in certified_flags))
+        if deadline_seconds is None:
+            in_deadline = arr
+            hit_rate = 1.0 if served else 0.0
+        else:
+            in_deadline = arr[arr <= deadline_seconds]
+            total_responses = served + shed
+            hit_rate = (
+                float(in_deadline.size) / total_responses
+                if total_responses
+                else 0.0
+            )
+        p99 = (
+            float(np.percentile(in_deadline * 1e3, 99.0))
+            if in_deadline.size
+            else 0.0
+        )
+        return cls(
+            total=served + shed,
+            certified=certified,
+            uncertified=served - certified,
+            shed=shed,
+            deadline_hit_rate=hit_rate,
+            p99_in_deadline_ms=p99,
+        )
+
+
 @dataclass
 class MetricAggregate:
     """Average / percentile summaries across many sequences."""

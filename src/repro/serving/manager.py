@@ -15,21 +15,29 @@ Batched admission (:meth:`submit_batch`) coalesces a batch by template
 and deduplicates identical selectivity vectors before dispatch, so a
 burst of the same query instance costs one optimization and the
 duplicates share its :class:`PlanChoice`.
+
+With an :class:`~repro.serving.overload.OverloadPolicy` the manager adds
+overload protection (DESIGN.md §9): bounded per-template ingress queues
+with rejection-as-last-resort, end-to-end deadline budgets propagated
+into engine calls, an optimizer gate, and the brownout controller whose
+λ-relaxation hook is installed on every registered template's getPlan.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
-from contextlib import contextmanager
+from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
+from contextlib import contextmanager, suppress
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from ..core.dynamic_lambda import PressureRelaxedLambda
 from ..core.manager import PQOManager, TemplateState
 from ..core.technique import PlanChoice
 from ..engine.tracing import TraceLog
 from ..query.instance import QueryInstance
 from ..query.template import QueryTemplate
+from .overload import Deadline, OverloadCoordinator, OverloadPolicy, ShutdownError
 from .shard import TemplateShard
 from .stats import ServingStats, merge_rows
 
@@ -44,13 +52,22 @@ class ConcurrentPQOManager(PQOManager):
         Size of the serving thread pool.
     trace:
         Optional :class:`TraceLog` receiving ``serving`` events
-        (single-flight collapses, epoch retries, batch dedup).
+        (single-flight collapses, epoch retries, batch dedup) and
+        ``overload`` events (brownout transitions, sheds, rejects).
+    overload:
+        Optional :class:`OverloadPolicy` enabling admission control,
+        deadlines and brownout degradation.  Without it the serving
+        behaviour is identical to the plain concurrent manager.
     """
 
     max_workers: int = 8
     trace: Optional[TraceLog] = None
+    overload: Optional[OverloadPolicy] = None
     _shards: dict[str, TemplateShard] = field(default_factory=dict)
     _executor: Optional[ThreadPoolExecutor] = field(
+        default=None, init=False, repr=False
+    )
+    _overload_coordinator: Optional[OverloadCoordinator] = field(
         default=None, init=False, repr=False
     )
     _registry_lock: threading.RLock = field(
@@ -62,10 +79,19 @@ class ConcurrentPQOManager(PQOManager):
     _counter_lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False
     )
+    _futures_lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False
+    )
+    _outstanding: set = field(default_factory=set, init=False, repr=False)
+    _closed: bool = field(default=False, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if self.overload is not None:
+            self._overload_coordinator = OverloadCoordinator(
+                self.overload, trace=self.trace
+            )
         self._executor = ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="pqo-serve"
         )
@@ -83,36 +109,165 @@ class ConcurrentPQOManager(PQOManager):
             # Racy double-misses on one vector must not grow the instance
             # list without bound (see ManageCache.coalesce_identical).
             state.scr.manage_cache.coalesce_identical = True
+            ov = self._overload_coordinator
+            if ov is not None:
+                self._install_pressure_lambda(state)
+                ov.register_shard()
             with self._all_shard_locks():
                 self._templates[template.name] = state
                 self._shards[template.name] = TemplateShard(
-                    state, trace=self.trace
+                    state, trace=self.trace, overload=ov
                 )
                 self._apply_budgets()
         return state
+
+    def _install_pressure_lambda(self, state: TemplateState) -> None:
+        """Route the template's λ through the brownout pressure hook.
+
+        Behaviour-neutral at level NORMAL; from LAMBDA_RELAXED upward
+        the bound widens by ``lambda_relax_factor`` (clamped to
+        ``lambda_ceiling``), trading optimality for optimizer calls
+        *within* the guarantee framework — certified instances under
+        pressure still satisfy ``SO ≤ λ_relaxed``.
+        """
+        get_plan = state.scr.get_plan
+        base = get_plan.lambda_for if get_plan.lambda_for is not None else get_plan.lam
+        get_plan.lambda_for = PressureRelaxedLambda(
+            base,
+            level_provider=self._overload_coordinator.level_value,
+            relax_factor=self.overload.lambda_relax_factor,
+            ceiling=self.overload.lambda_ceiling,
+        )
 
     def shard(self, template_name: str) -> TemplateShard:
         return self._shards[template_name]
 
     # -- serving --------------------------------------------------------------
 
-    def process(self, instance: QueryInstance) -> PlanChoice:
+    def process(
+        self, instance: QueryInstance, deadline: Optional[Deadline] = None
+    ) -> PlanChoice:
         """Serve one instance synchronously (callable from any thread)."""
         shard = self._shards.get(instance.template_name)
         if shard is None:
             raise KeyError(
                 f"template {instance.template_name!r} is not registered"
             )
-        choice = shard.process(instance)
+        return self._process_on(shard, instance, deadline)
+
+    def _process_on(
+        self,
+        shard: TemplateShard,
+        instance: QueryInstance,
+        deadline: Optional[Deadline] = None,
+        overflow_reason: Optional[str] = None,
+    ) -> PlanChoice:
+        choice = shard.process(
+            instance, deadline=deadline, overflow_reason=overflow_reason
+        )
         self._note_processed(shard.state)
         return choice
 
-    def submit(self, instance: QueryInstance) -> "Future[PlanChoice]":
-        """Dispatch one instance to the serving pool."""
-        return self._executor.submit(self.process, instance)
+    def submit(
+        self, instance: QueryInstance, deadline: Optional[Deadline] = None
+    ) -> "Future[PlanChoice]":
+        """Dispatch one instance to the serving pool.
+
+        With overload protection on, admission is bounded: a submission
+        over the template's ``queue_limit`` is resolved *in the calling
+        thread* as rejection-as-last-resort — a free selectivity probe,
+        then the nearest cached plan uncertified (reason
+        ``queue_full``), shedding only when no cached plan exists.  The
+        returned future then already holds the outcome, so callers keep
+        one uniform interface.
+        """
+        shard = self._shards.get(instance.template_name)
+        if shard is None:
+            raise KeyError(
+                f"template {instance.template_name!r} is not registered"
+            )
+        fut: "Future[PlanChoice]" = Future()
+        ov = self._overload_coordinator
+        entered = False
+        if ov is not None:
+            if deadline is None:
+                deadline = ov.new_deadline()
+            entered = ov.try_enter_queue(shard.stats)
+            if not entered:
+                if self.trace is not None:
+                    self.trace.overload(
+                        "queue_reject",
+                        shard.scr.instances_processed,
+                        detail=shard.state.template.name,
+                    )
+                try:
+                    fut.set_result(
+                        self._process_on(
+                            shard, instance, deadline,
+                            overflow_reason="queue_full",
+                        )
+                    )
+                except BaseException as exc:
+                    fut.set_exception(exc)
+                return fut
+        with self._futures_lock:
+            self._outstanding.add(fut)
+        fut.add_done_callback(self._forget_outstanding)
+        try:
+            self._executor.submit(
+                self._run, fut, shard, instance, deadline, entered
+            )
+        except RuntimeError:
+            # The executor refused: the manager is shutting down.
+            if entered:
+                ov.exit_queue(shard.stats)
+            with suppress(InvalidStateError):
+                fut.set_exception(
+                    ShutdownError(
+                        "manager closed before this submission was accepted"
+                    )
+                )
+        return fut
+
+    def _run(
+        self,
+        fut: "Future[PlanChoice]",
+        shard: TemplateShard,
+        instance: QueryInstance,
+        deadline: Optional[Deadline],
+        entered: bool,
+    ) -> None:
+        try:
+            if self._closed and not fut.done():
+                with suppress(InvalidStateError):
+                    fut.set_exception(
+                        ShutdownError(
+                            "manager closed before this queued submission was served"
+                        )
+                    )
+            if fut.done():
+                return  # resolved by close(wait=False); don't serve it
+            try:
+                result = self._process_on(shard, instance, deadline)
+            except BaseException as exc:
+                with suppress(InvalidStateError):
+                    fut.set_exception(exc)
+            else:
+                with suppress(InvalidStateError):
+                    fut.set_result(result)
+        finally:
+            if entered:
+                self._overload_coordinator.exit_queue(shard.stats)
+
+    def _forget_outstanding(self, fut: "Future[PlanChoice]") -> None:
+        with self._futures_lock:
+            self._outstanding.discard(fut)
 
     def submit_batch(
-        self, instances: Sequence[QueryInstance], dedupe: bool = True
+        self,
+        instances: Sequence[QueryInstance],
+        dedupe: bool = True,
+        deadline_seconds: Optional[float] = None,
     ) -> list["Future[PlanChoice]"]:
         """Admit a batch: coalesce by template, dedupe identical vectors.
 
@@ -120,7 +275,9 @@ class ConcurrentPQOManager(PQOManager):
         instances share the future (and therefore the PlanChoice) of
         their first occurrence.  Unique instances are dispatched round-
         robin across templates so independent shards fill the pool
-        instead of convoying on one shard's lock.
+        instead of convoying on one shard's lock.  ``deadline_seconds``
+        attaches an end-to-end budget to each dispatched instance
+        (starting at its dispatch, not at batch entry).
         """
         futures: list[Optional[Future]] = [None] * len(instances)
         per_template: dict[str, list[tuple[int, QueryInstance]]] = {}
@@ -146,7 +303,12 @@ class ConcurrentPQOManager(PQOManager):
         while queues:
             for queue in list(queues):
                 i, instance = queue.pop()
-                futures[i] = self.submit(instance)
+                deadline = (
+                    Deadline.after(deadline_seconds)
+                    if deadline_seconds is not None
+                    else None
+                )
+                futures[i] = self.submit(instance, deadline=deadline)
                 if not queue:
                     queues.remove(queue)
         for i, first in duplicate_of.items():
@@ -220,16 +382,93 @@ class ConcurrentPQOManager(PQOManager):
         return [self._shards[name].stats for name in sorted(self._shards)]
 
     def serving_report(self) -> list[dict[str, object]]:
-        """Per-shard rows plus a fleet-wide TOTAL row."""
+        """Per-shard rows plus a fleet-wide TOTAL row.
+
+        Each row merges the shard's serving counters with the template's
+        health: circuit-breaker state, quarantine flag and the engine's
+        degradation totals (fail-closed recosts, optimize/sVector
+        fallbacks) — one view instead of three.
+        """
         stats = self.serving_stats()
-        rows = [s.row() for s in stats]
+        rows = []
+        open_breakers = 0
+        quarantined_total = 0
+        degraded_total = 0
+        for s in stats:
+            row = s.row()
+            state = self._templates.get(s.template)
+            breaker = getattr(state.engine, "recost_breaker", None) if state else None
+            row["breaker"] = (
+                getattr(getattr(breaker, "state", None), "value", "-")
+                if breaker is not None
+                else "-"
+            )
+            if breaker is not None and getattr(breaker, "is_open", False):
+                open_breakers += 1
+            is_quarantined = bool(state.quarantined) if state else False
+            row["quarantined"] = "yes" if is_quarantined else "-"
+            quarantined_total += int(is_quarantined)
+            res = getattr(
+                getattr(state.engine, "counters", None), "resilience", None
+            ) if state else None
+            degraded = (
+                res.recost_failed_closed
+                + res.optimize_fallbacks
+                + res.selectivity_fallbacks
+                if res is not None
+                else 0
+            )
+            row["degraded"] = degraded
+            degraded_total += degraded
+            rows.append(row)
         if stats:
-            rows.append(merge_rows(stats))
+            total = merge_rows(stats)
+            total["breaker"] = f"{open_breakers} open" if open_breakers else "-"
+            total["quarantined"] = quarantined_total if quarantined_total else "-"
+            total["degraded"] = degraded_total
+            rows.append(total)
         return rows
 
+    def overload_report(self) -> Optional[dict[str, object]]:
+        """Operator snapshot of the overload subsystem (None when off)."""
+        if self._overload_coordinator is None:
+            return None
+        return self._overload_coordinator.report()
+
+    @property
+    def brownout_level(self):
+        """Current brownout level, or None without overload protection."""
+        if self._overload_coordinator is None:
+            return None
+        return self._overload_coordinator.level
+
     def close(self, wait: bool = True) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=wait)
+        """Shut the serving pool down.
+
+        ``wait=True`` drains: every already-submitted instance is served
+        before the call returns.  ``wait=False`` cancels: queued
+        (not-yet-started) submissions are resolved immediately with
+        :class:`ShutdownError` instead of being silently dropped, so no
+        caller ever blocks forever on a future that will never run.
+        """
+        if self._executor is None:
+            return
+        if wait:
+            self._executor.shutdown(wait=True)
+            return
+        self._closed = True
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        with self._futures_lock:
+            pending = list(self._outstanding)
+            self._outstanding.clear()
+        for fut in pending:
+            if not fut.done():
+                with suppress(InvalidStateError):
+                    fut.set_exception(
+                        ShutdownError(
+                            "manager closed before this queued submission was served"
+                        )
+                    )
 
     def __enter__(self) -> "ConcurrentPQOManager":
         return self

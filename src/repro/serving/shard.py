@@ -16,12 +16,21 @@ The lock discipline (DESIGN.md §8):
   the same selectivity vector cost one optimizer call; only
   ``manageCache`` mutations (register / evict / retire) hold the write
   lock.
+
+Overload protection (DESIGN.md §9) threads through the same paths:
+every instance may carry an end-to-end :class:`Deadline`, misses pass
+through the coordinator's optimizer-gate admission, and denied work is
+resolved on the **degraded path** — the nearest cached plan served
+``certified=False`` with a reason code, or a :class:`ShedError` when
+the cache is empty.  Without an :class:`OverloadCoordinator` the shard
+behaves exactly as before.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from contextlib import nullcontext
 from typing import Optional
 
 from ..core.get_plan import CheckKind
@@ -32,6 +41,7 @@ from ..engine.resilience import OptimizeUnavailableError
 from ..engine.tracing import TraceLog
 from ..optimizer.recost import ShrunkenMemo
 from ..query.instance import QueryInstance, SelectivityVector
+from .overload import BrownoutLevel, Deadline, OverloadCoordinator, ShedError
 from .stats import ServingStats
 
 #: Probe/commit retries before degrading to the fully-serial path; a
@@ -48,6 +58,7 @@ class TemplateShard:
         state: TemplateState,
         trace: Optional[TraceLog] = None,
         flight_timeout_seconds: float = 30.0,
+        overload: Optional[OverloadCoordinator] = None,
     ) -> None:
         self.state = state
         self.scr: SCR = state.scr
@@ -56,6 +67,7 @@ class TemplateShard:
         self.flight_timeout_seconds = flight_timeout_seconds
         self.lock = threading.RLock()
         self.stats = ServingStats(template=state.template.name)
+        self._overload = overload
         self._flight_lock = threading.Lock()
         self._inflight: dict[tuple[float, ...], threading.Event] = {}
         # Instance sequence numbers for trace attribution are allocated
@@ -67,15 +79,79 @@ class TemplateShard:
 
     # -- public entry ---------------------------------------------------------
 
-    def process(self, instance: QueryInstance) -> PlanChoice:
-        """Serve one instance; safe to call from any number of threads."""
+    def process(
+        self,
+        instance: QueryInstance,
+        deadline: Optional[Deadline] = None,
+        overflow_reason: Optional[str] = None,
+    ) -> PlanChoice:
+        """Serve one instance; safe to call from any number of threads.
+
+        ``deadline`` is the submission's end-to-end budget (the
+        coordinator's default is attached when None).  ``overflow_reason``
+        marks a bounded-queue overflow being resolved in the submitting
+        thread: the probe runs selectivity-only (zero engine calls) and a
+        miss goes straight to the degraded path with that reason.
+        """
         start = time.perf_counter()
         with self._seq_lock:
             seq = self._next_seq
             self._next_seq += 1
         self.engine.begin_instance(seq)
+        ov = self._overload
+        if deadline is None and ov is not None:
+            deadline = ov.new_deadline()
+        shed = False
+        try:
+            with self._engine_budget(deadline):
+                return self._process_inner(
+                    instance, deadline, overflow_reason, start
+                )
+        except ShedError:
+            shed = True
+            raise
+        finally:
+            missed = deadline is not None and deadline.expired(self._now())
+            if missed:
+                self.stats.note_deadline_miss()
+            if ov is not None:
+                ov.note_completed(missed, shed=shed)
+
+    def _process_inner(
+        self,
+        instance: QueryInstance,
+        deadline: Optional[Deadline],
+        overflow_reason: Optional[str],
+        start: float,
+    ) -> PlanChoice:
         sv, degraded = self._selectivity_vector(instance)
-        choice = self._serve(sv, depth=0)
+        now = self._now()
+        if overflow_reason is not None:
+            choice = self._serve(
+                sv, depth=0, deadline=deadline, max_recost=0,
+                deny=overflow_reason,
+            )
+        elif deadline is not None and deadline.expired(now):
+            # The budget died in queue: skip the probe entirely and
+            # resolve through the degraded path instead of hanging.
+            choice = self._degrade_entry(sv, "deadline_expired")
+        else:
+            max_recost = None
+            if (
+                self._overload is not None
+                and self._overload.level >= BrownoutLevel.SHED
+            ):
+                max_recost = 0  # selectivity-only: zero engine calls
+            elif (
+                deadline is not None
+                and deadline.remaining(now) <= self._min_optimize_budget()
+            ):
+                # A nearly-expired budget funds no engine work; don't
+                # let the probe's recosts count as engine faults.
+                max_recost = 0
+            choice = self._serve(
+                sv, depth=0, deadline=deadline, max_recost=max_recost
+            )
         if degraded:
             # The sVector was a stale fallback: every check ran against
             # approximate selectivities, so no bound is certified.
@@ -104,16 +180,48 @@ class TemplateShard:
         # expose the legacy flag.
         return sv, bool(getattr(self.engine, "last_selectivity_degraded", False))
 
+    # -- overload plumbing ----------------------------------------------------
+
+    def _now(self) -> float:
+        if self._overload is not None:
+            return self._overload.clock()
+        return time.monotonic()
+
+    def _min_optimize_budget(self) -> float:
+        if self._overload is not None:
+            return self._overload.policy.min_optimize_budget
+        return 0.0
+
+    def _engine_budget(self, deadline: Optional[Deadline]):
+        """Scope the engine's per-call budget to the remaining deadline."""
+        if deadline is None:
+            return nullcontext()
+        budget = getattr(self.engine, "call_budget", None)
+        if budget is None:
+            return nullcontext()
+        return budget(deadline.expires_at)
+
     # -- optimistic read path -------------------------------------------------
 
-    def _serve(self, sv: SelectivityVector, depth: int) -> PlanChoice:
+    def _serve(
+        self,
+        sv: SelectivityVector,
+        depth: int,
+        deadline: Optional[Deadline] = None,
+        max_recost: Optional[int] = None,
+        deny: Optional[str] = None,
+    ) -> PlanChoice:
         if depth >= MAX_OPTIMISTIC_RETRIES:
-            return self._serve_locked(sv)
+            return self._serve_locked(
+                sv, deadline=deadline, max_recost=max_recost, deny=deny
+            )
         scr = self.scr
         snapshot = scr.cache.snapshot()
-        decision = scr.get_plan.probe(sv, self._recost, entries=snapshot.entries)
+        decision = scr.get_plan.probe(
+            sv, self._recost, entries=snapshot.entries, max_recost=max_recost
+        )
         if not decision.hit:
-            return self._miss(sv, decision, depth)
+            return self._miss(sv, decision, depth, deadline, max_recost, deny)
         acquired_at = time.perf_counter()
         with self.lock:
             self.stats.add_lock_wait(time.perf_counter() - acquired_at)
@@ -125,7 +233,9 @@ class TemplateShard:
         self.stats.note_epoch_retry()
         if self.trace is not None:
             self.trace.serving("epoch_retry", scr.instances_processed)
-        return self._serve(sv, depth + 1)
+        return self._serve(
+            sv, depth + 1, deadline=deadline, max_recost=max_recost, deny=deny
+        )
 
     def _commit_valid(self, decision, snapshot) -> bool:
         """Optimistic validation of a probed hit; caller holds the lock.
@@ -147,17 +257,66 @@ class TemplateShard:
             return True
         return self.scr.cache.has_plan(decision.plan_id)
 
-    def _serve_locked(self, sv: SelectivityVector) -> PlanChoice:
+    def _serve_locked(
+        self,
+        sv: SelectivityVector,
+        deadline: Optional[Deadline] = None,
+        max_recost: Optional[int] = None,
+        deny: Optional[str] = None,
+    ) -> PlanChoice:
         """Fully serial fallback: the whole getPlan/manageCache cycle
-        under the write lock (identical to serial SCR semantics)."""
+        under the write lock (identical to serial SCR semantics).
+
+        With overload machinery in play the locked cycle still honours
+        the gate, the deadline and any standing denial — contention must
+        not become a hole in admission control.
+        """
         acquired_at = time.perf_counter()
         with self.lock:
             self.stats.add_lock_wait(time.perf_counter() - acquired_at)
-            return self._finish_locked(self.scr._choose(sv))
+            if (
+                self._overload is None
+                and deadline is None
+                and max_recost is None
+                and deny is None
+            ):
+                return self._finish_locked(self.scr._choose(sv))
+            scr = self.scr
+            decision = scr.get_plan.probe(
+                sv, self._recost, max_recost=max_recost
+            )
+            scr.get_plan.commit(decision)
+            if decision.hit:
+                return self._finish_locked(scr._hit_choice(decision))
+            reason, holds_gate = self._admission(deadline, deny)
+            if reason is not None:
+                return self._commit_degraded(sv, decision.recost_calls, reason)
+            try:
+                with self.stats.engine_calls.track():
+                    result = scr._optimize(sv)
+            except OptimizeUnavailableError:
+                fallback = scr._fallback_choice(sv, decision.recost_calls)
+                if fallback is None:
+                    raise  # empty cache: nothing can be served
+                return self._finish_locked(fallback)
+            finally:
+                if holds_gate:
+                    self._overload.release_optimize()
+            return self._finish_locked(
+                scr._register_optimized(sv, result, decision.recost_calls)
+            )
 
     # -- miss path with single-flight -----------------------------------------
 
-    def _miss(self, sv: SelectivityVector, decision, depth: int) -> PlanChoice:
+    def _miss(
+        self,
+        sv: SelectivityVector,
+        decision,
+        depth: int,
+        deadline: Optional[Deadline] = None,
+        max_recost: Optional[int] = None,
+        deny: Optional[str] = None,
+    ) -> PlanChoice:
         key = sv.values
         with self._flight_lock:
             flight = self._inflight.get(key)
@@ -168,20 +327,54 @@ class TemplateShard:
         if not leader:
             # Another thread is optimizing this exact vector; wait for it
             # to register, then re-probe — the fresh anchor (G = L = 1,
-            # S ≤ λ_r ≤ λ) guarantees a selectivity hit.
+            # S ≤ λ_r ≤ λ) guarantees a selectivity hit.  The wait never
+            # outlives the submission's remaining budget.
             self.stats.note_single_flight()
             if self.trace is not None:
                 self.trace.serving(
                     "single_flight_collapse", self.scr.instances_processed
                 )
-            flight.wait(timeout=self.flight_timeout_seconds)
-            return self._serve(sv, depth + 1)
+            timeout = self.flight_timeout_seconds
+            if deadline is not None:
+                timeout = min(timeout, max(0.0, deadline.remaining(self._now())))
+            flight.wait(timeout=timeout)
+            return self._serve(
+                sv, depth + 1, deadline=deadline, max_recost=max_recost,
+                deny=deny,
+            )
         try:
-            return self._optimize_and_register(sv, decision)
+            reason, holds_gate = self._admission(deadline, deny)
+            if reason is not None:
+                return self._degrade_miss(sv, decision, reason)
+            try:
+                return self._optimize_and_register(sv, decision)
+            finally:
+                if holds_gate:
+                    self._overload.release_optimize()
         finally:
             with self._flight_lock:
                 self._inflight.pop(key, None)
             flight.set()
+
+    def _admission(
+        self, deadline: Optional[Deadline], deny: Optional[str]
+    ) -> tuple[Optional[str], bool]:
+        """Decide the miss's fate: ``(denial_reason, holds_gate)``.
+
+        A standing denial (queue overflow) wins outright; an expired
+        deadline denies next; otherwise the coordinator applies brownout
+        level, remaining budget and the optimizer gate.
+        """
+        if deny is not None:
+            return deny, False
+        if deadline is not None and deadline.expired(self._now()):
+            return "deadline_expired", False
+        if self._overload is None:
+            return None, False
+        reason, holds_gate = self._overload.optimize_admission(deadline)
+        if reason == "gate_timeout":
+            self.stats.note_gate_timeout()
+        return reason, holds_gate
 
     def _optimize_and_register(self, sv: SelectivityVector, decision) -> PlanChoice:
         scr = self.scr
@@ -206,6 +399,50 @@ class TemplateShard:
             return self._finish_locked(
                 scr._register_optimized(sv, result, decision.recost_calls)
             )
+
+    # -- degraded path --------------------------------------------------------
+
+    def _degrade_entry(self, sv: SelectivityVector, reason: str) -> PlanChoice:
+        """Resolve an instance whose budget expired before any probe ran."""
+        acquired_at = time.perf_counter()
+        with self.lock:
+            self.stats.add_lock_wait(time.perf_counter() - acquired_at)
+            return self._commit_degraded(sv, 0, reason)
+
+    def _degrade_miss(self, sv: SelectivityVector, decision, reason: str) -> PlanChoice:
+        """Resolve a denied miss: book it, then serve degraded."""
+        acquired_at = time.perf_counter()
+        with self.lock:
+            self.stats.add_lock_wait(time.perf_counter() - acquired_at)
+            self.scr.get_plan.commit(decision)
+            return self._commit_degraded(sv, decision.recost_calls, reason)
+
+    def _commit_degraded(
+        self, sv: SelectivityVector, recost_calls: int, reason: str
+    ) -> PlanChoice:
+        """Nearest cached plan uncertified, or shed; caller holds the lock.
+
+        Every outcome is labeled: an ``overload`` trace event carries the
+        reason code, and the stats layer counts the serve or the shed.
+        """
+        choice = self.scr._overload_choice(sv, recost_calls)
+        if choice is None:
+            self.stats.note_shed()
+            if self.trace is not None:
+                self.trace.overload(
+                    "shed",
+                    self.scr.instances_processed,
+                    detail=f"{reason}:no_cached_plan",
+                )
+            raise ShedError(
+                f"{reason}:no_cached_plan", template=self.state.template.name
+            )
+        self.stats.note_overload_serve()
+        if self.trace is not None:
+            self.trace.overload(
+                "uncertified_serve", self.scr.instances_processed, detail=reason
+            )
+        return self._finish_locked(choice)
 
     # -- shared plumbing ------------------------------------------------------
 

@@ -58,6 +58,14 @@ class ServingStats:
     single_flight_collapsed: int = 0
     batch_deduped: int = 0
     uncertified: int = 0
+    # Overload-protection accounting (zero when no OverloadPolicy is set):
+    shed: int = 0                  # requests refused (ShedError)
+    overload_serves: int = 0       # uncertified serves on the degraded path
+    deadline_misses: int = 0       # completions past their deadline
+    gate_timeouts: int = 0         # misses denied by the optimizer gate
+    queue_rejects: int = 0         # submissions hitting a full queue
+    queue_depth: int = 0           # outstanding (queued + running) gauge
+    queue_high_water: int = 0
     engine_calls: ConcurrencyGauge = field(default_factory=ConcurrencyGauge)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     _started_at: float = field(default_factory=time.perf_counter, repr=False)
@@ -89,6 +97,39 @@ class ServingStats:
         with self._lock:
             self.batch_deduped += count
 
+    # -- overload accounting -------------------------------------------------
+
+    def try_enqueue(self, limit: int) -> bool:
+        """Atomically claim one bounded-queue slot; False when full."""
+        with self._lock:
+            if self.queue_depth >= limit:
+                self.queue_rejects += 1
+                return False
+            self.queue_depth += 1
+            if self.queue_depth > self.queue_high_water:
+                self.queue_high_water = self.queue_depth
+            return True
+
+    def note_dequeued(self) -> None:
+        with self._lock:
+            self.queue_depth = max(0, self.queue_depth - 1)
+
+    def note_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def note_overload_serve(self) -> None:
+        with self._lock:
+            self.overload_serves += 1
+
+    def note_deadline_miss(self) -> None:
+        with self._lock:
+            self.deadline_misses += 1
+
+    def note_gate_timeout(self) -> None:
+        with self._lock:
+            self.gate_timeouts += 1
+
     # -- reporting -----------------------------------------------------------
 
     @property
@@ -119,6 +160,12 @@ class ServingStats:
             "deduped": self.batch_deduped,
             "epoch_retries": self.epoch_retries,
             "uncertified": self.uncertified,
+            "shed": self.shed,
+            "overload_serves": self.overload_serves,
+            "deadline_miss": self.deadline_misses,
+            "gate_timeouts": self.gate_timeouts,
+            "queue_rejects": self.queue_rejects,
+            "queue_hw": self.queue_high_water,
         }
 
 
@@ -141,4 +188,10 @@ def merge_rows(stats: list[ServingStats]) -> dict[str, object]:
         "deduped": sum(s.batch_deduped for s in stats),
         "epoch_retries": sum(s.epoch_retries for s in stats),
         "uncertified": sum(s.uncertified for s in stats),
+        "shed": sum(s.shed for s in stats),
+        "overload_serves": sum(s.overload_serves for s in stats),
+        "deadline_miss": sum(s.deadline_misses for s in stats),
+        "gate_timeouts": sum(s.gate_timeouts for s in stats),
+        "queue_rejects": sum(s.queue_rejects for s in stats),
+        "queue_hw": max((s.queue_high_water for s in stats), default=0),
     }

@@ -10,7 +10,7 @@ from repro.catalog.datagen import (
     generate_database,
     generate_table,
 )
-from repro.catalog.schema import Column, ColumnType, Schema, Table
+from repro.catalog.schema import Column, ColumnType, Table
 
 from conftest import build_toy_schema
 

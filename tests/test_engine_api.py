@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.api import ApiAccounting, EngineAPI, EngineCounters
+from repro.engine.api import ApiAccounting, EngineCounters
 from repro.engine.database import Database
 from repro.query.instance import QueryInstance, SelectivityVector
 from repro.query.template import QueryTemplate, range_predicate

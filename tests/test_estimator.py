@@ -1,6 +1,5 @@
 """Tests for histogram-backed selectivity estimation and inversion."""
 
-import numpy as np
 import pytest
 
 from repro.query.expressions import ColumnRef, ComparisonOp, FixedPredicate

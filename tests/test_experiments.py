@@ -12,7 +12,6 @@ from repro.harness.experiments import (
     Experiments,
     standard_factories,
 )
-from repro.workload.suite import SuiteConfig
 from repro.workload.templates import seed_templates
 
 

@@ -12,7 +12,7 @@ from repro.core.scr import SCR
 from repro.core.seeding import grid_points, random_points, seed_cache
 from repro.core.spatial_index import InstanceGridIndex
 from repro.engine.api import EngineAPI
-from repro.engine.tracing import TraceEvent, TraceEventKind, TraceLog
+from repro.engine.tracing import TraceEventKind, TraceLog
 from repro.query.instance import QueryInstance, SelectivityVector
 from repro.workload.generator import instances_for_template
 

@@ -15,7 +15,6 @@ satisfies ``SO(q) ≤ λ``.
 
 import math
 
-import pytest
 
 from repro.core.scr import SCR
 from repro.engine.api import EngineAPI
@@ -23,7 +22,6 @@ from repro.engine.faults import (
     EngineTimeoutError,
     FaultConfig,
     FaultInjector,
-    FaultProfile,
     TransientEngineError,
 )
 from repro.engine.resilience import (

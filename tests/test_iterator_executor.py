@@ -15,7 +15,6 @@ from repro.executor.iterators import IteratorExecutor
 from repro.query.instance import QueryInstance, SelectivityVector
 from repro.query.template import AggregationKind, QueryTemplate, join, range_predicate
 from repro.query.expressions import ColumnRef
-from repro.workload.generator import instances_for_template
 
 sel = st.floats(min_value=0.01, max_value=1.0)
 

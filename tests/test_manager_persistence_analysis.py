@@ -5,7 +5,6 @@ import pytest
 from repro.analysis.plan_diagram import anorexic_reduction, compute_plan_diagram
 from repro.core.manager import PQOManager, choose_lambda
 from repro.core.persistence import CacheSnapshot, dump_cache, load_cache
-from repro.core.plan_cache import PlanCache
 from repro.core.scr import SCR
 from repro.engine.api import EngineAPI
 from repro.query.instance import QueryInstance, SelectivityVector

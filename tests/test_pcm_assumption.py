@@ -8,7 +8,6 @@ cardinalities — which is exactly why PCM's rectangles are sound on this
 substrate.  These properties guard that foundation.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 import random
 import threading
 
-import pytest
 
 from repro.core.manager import PQOManager
 from repro.engine.database import Database

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.bounds import LINEAR_BOUND
 from repro.core.dynamic_lambda import DynamicLambda
 from repro.core.plan_cache import InstanceEntry
 from repro.core.violations import ViolationDetector

@@ -1,6 +1,5 @@
 """Tests for workload generation, orderings and the suite."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
