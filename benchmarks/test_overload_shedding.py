@@ -25,6 +25,7 @@ from repro.engine.database import Database
 from repro.engine.tracing import TraceEventKind, TraceLog
 from repro.harness.metrics import ServiceLevelSummary
 from repro.harness.reporting import format_table
+from repro.obs import Observability
 from repro.serving import (
     ConcurrentPQOManager,
     OverloadPolicy,
@@ -51,12 +52,15 @@ DRAIN_TIMEOUT = 60.0            # "zero hangs" bar: everything resolves
 
 def build_manager(policy, trace=None):
     db = Database.create(serving_schema(), seed=11)
+    # Observability attached on both overload runs: the 1x ratio
+    # acceptance below therefore bounds its overhead in the hot path.
     manager = ConcurrentPQOManager(
         database=db,
         max_workers=NUM_WORKERS,
         engine_wrapper=simulated_latency_wrapper(**LATENCY),
         overload=policy,
         trace=trace,
+        obs=Observability(),
     )
     for t in serving_templates():
         manager.register(t, lam=LAM)
@@ -148,8 +152,9 @@ def run_paced_overload(workload, offered_qps, trace):
     stats_rows = manager.serving_report()
     report = manager.overload_report()
     transitions = len(manager._overload_coordinator.controller.transitions)
+    audit = manager.obs.audit
     manager.close()
-    return db, outcomes, latencies, elapsed, stats_rows, report, transitions
+    return db, outcomes, latencies, elapsed, stats_rows, report, transitions, audit
 
 
 def certified_violations(db, workload, outcomes, bound) -> int:
@@ -182,9 +187,9 @@ def measure():
         serving_templates(), OVERLOAD_PER_TEMPLATE, SEED + 1
     )
     trace = TraceLog()
-    db, outcomes, latencies, paced_s, stats_rows, report_4x, transitions_4x = (
-        run_paced_overload(workload_4x, offered_qps=4.0 * capacity_qps,
-                           trace=trace)
+    (db, outcomes, latencies, paced_s, stats_rows, report_4x, transitions_4x,
+     audit) = run_paced_overload(
+        workload_4x, offered_qps=4.0 * capacity_qps, trace=trace
     )
 
     shed = [o for o in outcomes if isinstance(o, ShedError)]
@@ -226,6 +231,10 @@ def measure():
             "violations": certified_violations(
                 db, workload_4x, outcomes, RELAXED_CEILING
             ),
+            "audit_accounted": sum(audit.outcome_totals().values()),
+            "audit_certified": audit.outcome_totals()["certified"],
+            "audit_shed": audit.outcome_totals()["shed"],
+            "audit_violations": audit.total_violations,
         },
         "one_x": {
             "plain_qps": len(workload_1x) / plain_s,
@@ -260,6 +269,17 @@ def test_overload_shedding(benchmark):
     # Zero hangs, every response accounted for and labeled.
     assert row["errors"] == 0, "only PlanChoice or ShedError may come back"
     assert row["certified"] + row["uncertified"] + row["shed"] == row["responses"]
+
+    # The runtime audit trail independently reaches the same ledger:
+    # exactly one outcome counter per response, matching the futures,
+    # and zero live λ-violations (certified bounds are checked against
+    # the λ in force — the *relaxed* one under brownout).
+    assert row["audit_accounted"] == row["responses"]
+    assert row["audit_certified"] == row["certified"]
+    assert row["audit_shed"] == row["shed"]
+    assert row["audit_violations"] == 0, (
+        "the runtime guarantee audit flagged a certified bound above λ"
+    )
     for err in result["shed_errors"]:
         assert err.reason, "every shed carries a machine-readable reason"
 

@@ -25,6 +25,7 @@ from repro.catalog.schema import Column, Schema, Table
 from repro.core.manager import PQOManager
 from repro.engine.database import Database
 from repro.harness.reporting import format_table
+from repro.obs import Observability
 from repro.query.instance import QueryInstance
 from repro.query.template import QueryTemplate, join, range_predicate
 from repro.serving import ConcurrentPQOManager, simulated_latency_wrapper
@@ -122,10 +123,13 @@ def run_serial(templates, workload):
 
 def run_concurrent(templates, workload):
     db = Database.create(serving_schema(), seed=11)
+    # The observability handle sits in the measured path: the speedup
+    # acceptance below therefore also bounds its serving overhead.
     manager = ConcurrentPQOManager(
         database=db,
         max_workers=NUM_WORKERS,
         engine_wrapper=simulated_latency_wrapper(**LATENCY),
+        obs=Observability(),
     )
     for t in templates:
         manager.register(t, lam=LAM)
@@ -158,6 +162,8 @@ def measure():
     workload = make_workload(templates, INSTANCES_PER_TEMPLATE, SEED)
     serial_s, _, serial_choices = run_serial(templates, workload)
     conc_s, db, manager, conc_choices = run_concurrent(templates, workload)
+    audit = manager.obs.audit
+    outcomes = audit.outcome_totals()
     return {
         "templates": len(templates),
         "instances": len(workload),
@@ -168,6 +174,9 @@ def measure():
         "concurrent_qps": len(workload) / conc_s,
         "uncertified": sum(1 for c in conc_choices if not c.certified),
         "violations": observed_violations(db, templates, workload, conc_choices),
+        "accounted": sum(outcomes.values()),
+        "certified_counted": outcomes["certified"],
+        "violations_live": audit.total_violations,
         "report": manager.serving_report(),
     }
 
@@ -182,6 +191,17 @@ def test_concurrent_serving_throughput(benchmark):
 
     assert row["uncertified"] == 0, "every concurrent choice must be certified"
     assert row["violations"] == 0, "certified choice exceeded λ against oracle"
+
+    # The runtime audit trail agrees with reality: every response hit
+    # exactly one outcome counter, and the live λ check — which needs no
+    # oracle — saw zero violations too.
+    assert row["accounted"] == row["instances"], (
+        "outcome counters must account for every response exactly once"
+    )
+    assert row["certified_counted"] == row["instances"] - row["uncertified"]
+    assert row["violations_live"] == 0, (
+        "the runtime guarantee audit flagged a certified bound above λ"
+    )
     assert row["speedup"] >= MIN_SPEEDUP, (
         f"8-worker serving speedup {row['speedup']:.2f}× below the "
         f"{MIN_SPEEDUP}× acceptance threshold"

@@ -37,6 +37,7 @@ from .core.manager import PQOManager
 from .core.scr import SCR
 from .core.technique import OnlinePQOTechnique, PlanChoice
 from .engine.database import Database
+from .obs import Observability
 from .serving.manager import ConcurrentPQOManager
 from .query.instance import QueryInstance, SelectivityVector
 from .query.template import QueryTemplate
@@ -47,6 +48,7 @@ __all__ = [
     "Column",
     "ConcurrentPQOManager",
     "Database",
+    "Observability",
     "OnlinePQOTechnique",
     "PQOManager",
     "PlanChoice",

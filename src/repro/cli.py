@@ -13,6 +13,11 @@ Commands
 ``experiment <id>``
     One paper experiment at reduced scale (ids: lambda-sweep,
     aggregates, numopt-vs-m, numopt-vs-d, budget, recost-variants).
+``obs-report [--template NAME] [--m N] [--workers N]``
+    Instrumented serving run, then the observability snapshot: outcome
+    counters, the live λ-violation audit, and every metric series.
+    ``--prometheus FILE`` / ``--spans FILE`` additionally export the
+    registry as text exposition and the decision spans as JSONL.
 """
 
 from __future__ import annotations
@@ -148,6 +153,81 @@ def cmd_experiment(args) -> None:
         raise SystemExit(f"unknown experiment id {args.id!r}")
 
 
+def _series_label(row: dict, value_keys: frozenset = frozenset(
+    ("metric", "value", "count", "p50", "p99", "sum")
+)) -> str:
+    """Collapse a snapshot row's label columns into one cell."""
+    pairs = [f"{k}={v}" for k, v in row.items() if k not in value_keys]
+    return ",".join(pairs) if pairs else "-"
+
+
+def cmd_obs_report(args) -> None:
+    import json
+
+    from .obs import Observability, snapshot_rows, write_spans_jsonl
+    from .serving import ConcurrentPQOManager, simulated_latency_wrapper
+    from .workload import instances_for_template
+
+    template = _find_template(args.template)
+    db = get_database(template.database, scale=0.4)
+    obs = Observability()
+    manager = ConcurrentPQOManager(
+        database=db,
+        max_workers=args.workers,
+        engine_wrapper=simulated_latency_wrapper(
+            optimize_seconds=0.004, recost_seconds=0.0004
+        ),
+        obs=obs,
+    )
+    manager.register(template, lam=args.lam)
+    instances = instances_for_template(template, args.m, seed=1)
+    manager.process_many(instances, dedupe=False)
+    manager.close()
+
+    report = obs.report()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        outcomes = report["outcomes"]
+        print(f"Observability snapshot — SCR(lambda={args.lam:g}) serving "
+              f"{args.m} instances of {template.name} on "
+              f"{args.workers} workers\n")
+        print(format_table([{
+            "certified": outcomes["certified"],
+            "uncertified": outcomes["uncertified"],
+            "shed": outcomes["shed"],
+            "responses": sum(outcomes.values()),
+            "lambda_violations": report["lambda_violations"],
+        }], title="Guarantee audit (violations must stay 0)"))
+        rows = snapshot_rows(obs.registry)
+        scalars = [
+            {"metric": r["metric"], "series": _series_label(r),
+             "value": r["value"]}
+            for r in rows if "value" in r
+        ]
+        histograms = [
+            {"metric": r["metric"], "series": _series_label(r),
+             "count": r["count"], "p50": r["p50"], "p99": r["p99"],
+             "sum": r["sum"]}
+            for r in rows if "count" in r
+        ]
+        print()
+        print(format_table(scalars, title="Counters and gauges",
+                           float_format="{:g}"))
+        print()
+        print(format_table(histograms, title="Histograms (interpolated "
+                           "quantiles)", float_format="{:.6g}"))
+        print(f"\nspans: {report['spans_recorded']} recorded, "
+              f"{report['spans_dropped']} dropped from the ring")
+    if args.prometheus:
+        with open(args.prometheus, "w", encoding="utf-8") as fh:
+            fh.write(obs.prometheus())
+        print(f"wrote Prometheus exposition to {args.prometheus}")
+    if args.spans:
+        rows_written = write_spans_jsonl(obs.spans, args.spans)
+        print(f"wrote {rows_written} spans to {args.spans}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -179,6 +259,17 @@ def build_parser() -> argparse.ArgumentParser:
         "budget", "recost-variants",
     ])
     experiment.set_defaults(func=cmd_experiment)
+
+    obs_report = sub.add_parser("obs-report")
+    obs_report.add_argument("--template", default="tpch_shipping_priority")
+    obs_report.add_argument("--m", type=int, default=120)
+    obs_report.add_argument("--lam", type=float, default=2.0)
+    obs_report.add_argument("--workers", type=int, default=4)
+    obs_report.add_argument("--prometheus", metavar="FILE", default=None)
+    obs_report.add_argument("--spans", metavar="FILE", default=None)
+    obs_report.add_argument("--json", action="store_true",
+                            help="dump the full report as JSON instead")
+    obs_report.set_defaults(func=cmd_obs_report)
     return parser
 
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Iterable, Optional
 
+from ..obs.spans import SpanRecorder
 from ..optimizer.recost import ShrunkenMemo
 from ..query.instance import SelectivityVector
 from .bounds import BoundingFunction, LINEAR_BOUND, compute_gl
@@ -100,6 +101,9 @@ class GetPlan:
     bound: BoundingFunction = LINEAR_BOUND
     lambda_for: Optional[Callable[[float], float]] = None
     candidate_order: CandidateOrder = CandidateOrder.GL
+    #: Optional span recorder timing the two check phases (set when an
+    #: Observability handle is wired in; None keeps probes span-free).
+    spans: Optional[SpanRecorder] = None
     # Statistics for the overheads discussion of section 6.2:
     selectivity_hits: int = 0
     cost_hits: int = 0
@@ -150,9 +154,42 @@ class GetPlan:
         """
         if entries is None:
             entries = self.cache.instances()
-        candidates: list[tuple[float, float, float, InstanceEntry]] = []
+        spans = self.spans
+        timed = spans is not None and spans.enabled
+        start = spans.clock.perf_counter() if timed else 0.0
+        decision, candidates = self._selectivity_phase(sv, entries)
+        if timed:
+            spans.record(
+                "scr.selectivity_check", start,
+                spans.clock.perf_counter() - start,
+                hit=decision is not None, candidates=len(candidates),
+            )
+        if decision is not None:
+            return decision
+        if timed:
+            start = spans.clock.perf_counter()
+        decision = self._cost_phase(sv, recost, candidates, max_recost)
+        if timed:
+            spans.record(
+                "scr.cost_check", start, spans.clock.perf_counter() - start,
+                hit=decision.hit, recost_calls=decision.recost_calls,
+            )
+        return decision
 
-        # ---- selectivity check (pure arithmetic over the instance list)
+    def _selectivity_phase(
+        self,
+        sv: SelectivityVector,
+        entries: Iterable[InstanceEntry],
+    ) -> tuple[
+        Optional[GetPlanDecision],
+        list[tuple[float, float, float, InstanceEntry]],
+    ]:
+        """Selectivity check (pure arithmetic over the instance list).
+
+        Returns a hit decision or, on a miss, the surviving cost-check
+        candidates as ``(G·L, G, L, entry)`` tuples.
+        """
+        candidates: list[tuple[float, float, float, InstanceEntry]] = []
         for entry in entries:
             self.entries_scanned += 1
             g, l = compute_gl(entry.sv, sv)
@@ -164,12 +201,20 @@ class GetPlan:
                     anchor=entry,
                     g=g,
                     l=l,
-                )
+                ), candidates
             if not entry.retired:
                 candidates.append((g * l, g, l, entry))
+        return None, candidates
 
-        # ---- cost check (capped number of Recost calls, ordered per
-        #      the configured heuristic; G·L ascending is the paper's)
+    def _cost_phase(
+        self,
+        sv: SelectivityVector,
+        recost: Callable[[ShrunkenMemo, SelectivityVector], float],
+        candidates: list[tuple[float, float, float, InstanceEntry]],
+        max_recost: Optional[int] = None,
+    ) -> GetPlanDecision:
+        """Cost check: capped number of Recost calls, ordered per the
+        configured heuristic (G·L ascending is the paper's)."""
         self._order_candidates(candidates)
         cap = self.max_recost_candidates
         if max_recost is not None:
@@ -193,7 +238,6 @@ class GetPlan:
                     g=g,
                     l=l,
                 )
-
         return GetPlanDecision(
             plan_id=None, check=CheckKind.OPTIMIZER, recost_calls=recost_calls
         )

@@ -20,6 +20,7 @@ from typing import Callable, Optional
 from ..engine.api import EngineAPI
 from ..engine.resilience import OptimizeUnavailableError
 from ..engine.tracing import TraceLog
+from ..obs.handle import Observability, base_engine, instrument_engine
 from ..query.instance import SelectivityVector
 from .bounds import BoundingFunction, LINEAR_BOUND
 from .get_plan import CandidateOrder, CheckKind, GetPlan, GetPlanDecision
@@ -68,10 +69,12 @@ class SCR(OnlinePQOTechnique):
         candidate_order: CandidateOrder = CandidateOrder.GL,
         spatial_index: bool = False,
         trace: Optional[TraceLog] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         super().__init__(engine)
         self.lam = lam
         self.trace = trace
+        self.obs = obs
         self.cache = PlanCache()
         if spatial_index:
             from .spatial_index import IndexedGetPlan, InstanceGridIndex
@@ -105,10 +108,28 @@ class SCR(OnlinePQOTechnique):
             eviction_policy=eviction_policy,
         )
         self.detector = ViolationDetector(bound=bound) if detect_violations else None
+        if obs is not None:
+            instrument_engine(engine, obs)
+            self.get_plan.spans = obs.spans
 
     @property
     def name(self) -> str:  # type: ignore[override]
         return f"SCR{self.lam:g}"
+
+    def _audit_bound(self, bound: float, lam: float) -> None:
+        """Feed one certified bound to the guarantee audit trail.
+
+        This is the live λ-violation check: the histogram records the
+        bound, and a bound above the λ in force flags a violation the
+        moment it is served instead of waiting for an offline oracle
+        pass.  Shared by the serial and concurrent serving paths (both
+        funnel through :meth:`_hit_choice` / :meth:`_register_optimized`).
+        """
+        if self.obs is not None:
+            self.obs.audit.certified_bound(
+                self.engine.template.name, bound, lam,
+                seq=self.instances_processed,
+            )
 
     def _choose(self, sv: SelectivityVector) -> PlanChoice:
         decision = self.get_plan(sv, self.engine.recost)
@@ -139,6 +160,12 @@ class SCR(OnlinePQOTechnique):
                 plan.signature,
                 certified_bound=decision.inferred_suboptimality,
             )
+        bound = decision.inferred_suboptimality
+        lam = (
+            self.get_plan._effective_lambda(decision.anchor)
+            if decision.anchor is not None else self.lam
+        )
+        self._audit_bound(bound, lam)
         return PlanChoice(
             shrunken_memo=plan.shrunken_memo,
             plan_signature=plan.signature,
@@ -146,6 +173,7 @@ class SCR(OnlinePQOTechnique):
             check=decision.check.value,
             recost_calls=decision.recost_calls,
             plan=plan.plan,
+            certified_bound=bound,
         )
 
     def _miss_choice(
@@ -167,7 +195,18 @@ class SCR(OnlinePQOTechnique):
         choice.  The concurrent serving layer calls this under the shard
         write lock, with the optimizer call itself made outside it."""
         recosts_before = self.manage_cache.stats.redundancy_recost_calls
-        entry = self.manage_cache.register(sv, result, self.engine.recost)
+        spans = self.obs.spans if self.obs is not None else None
+        if spans is not None and spans.enabled:
+            start = spans.clock.perf_counter()
+            entry = self.manage_cache.register(sv, result, self.engine.recost)
+            spans.record(
+                "scr.redundancy_check", start,
+                spans.clock.perf_counter() - start,
+                template=self.engine.template.name,
+                cached=entry.suboptimality == 1.0,
+            )
+        else:
+            entry = self.manage_cache.register(sv, result, self.engine.recost)
         redundancy_recosts = (
             self.manage_cache.stats.redundancy_recost_calls - recosts_before
         )
@@ -176,6 +215,10 @@ class SCR(OnlinePQOTechnique):
             self.trace.decision(
                 self.instances_processed, "optimizer", chosen.signature
             )
+        # A freshly optimized instance is served with the bound its
+        # 5-tuple registered: 1 for its own (or an identical) plan, the
+        # redundancy winner's S_min otherwise.
+        self._audit_bound(entry.suboptimality, self.lam)
         return PlanChoice(
             shrunken_memo=chosen.shrunken_memo,
             plan_signature=chosen.signature,
@@ -184,6 +227,7 @@ class SCR(OnlinePQOTechnique):
             recost_calls=recost_calls + redundancy_recosts,
             optimal_cost=result.cost,
             plan=chosen.plan,
+            certified_bound=entry.suboptimality,
         )
 
     def _nearest_entry(self, sv: SelectivityVector):
@@ -211,6 +255,9 @@ class SCR(OnlinePQOTechnique):
             return None
         plan = self.cache.plan(best.plan_id)
         self.engine.counters.resilience.optimize_fallbacks += 1
+        instruments = getattr(base_engine(self.engine), "instruments", None)
+        if instruments is not None:
+            instruments.degraded["optimize"].inc()
         if self.engine.trace is not None:
             self.engine.trace.degraded(
                 "optimize", self.instances_processed,

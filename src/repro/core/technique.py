@@ -33,6 +33,10 @@ class PlanChoice:
     #: False when a degraded path served this instance (optimizer
     #: fallback, stale sVector): no λ bound was verified for it.
     certified: bool = True
+    #: The sub-optimality bound the checks actually verified (S·G·L,
+    #: S·R·L, or the entry's registered bound after an optimizer call);
+    #: None when no bound was certified.  Feeds the guarantee audit.
+    certified_bound: Optional[float] = None
 
 
 class OnlinePQOTechnique(ABC):

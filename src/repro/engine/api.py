@@ -109,6 +109,11 @@ class EngineAPI:
         self.estimator = estimator
         self.counters = EngineCounters()
         self.trace = trace
+        # Observability handle + pre-resolved metric children; attached
+        # via repro.obs.instrument_engine.  None keeps the hot path at
+        # one attribute check per call.
+        self.obs = None
+        self.instruments = None
         # Thread-local: under concurrent serving several worker threads
         # share one engine, and a plain attribute would misattribute
         # trace events to whichever instance called begin_instance last.
@@ -127,11 +132,27 @@ class EngineAPI:
         """
         self._index_tls.index = index
 
+    def _observe_call(self, api: str, start: float, elapsed: float) -> None:
+        """Feed one engine call into the attached observability handle."""
+        instruments = self.instruments
+        if instruments is None:
+            return
+        instruments.call_seconds[api].observe(elapsed)
+        spans = self.obs.spans
+        if spans.enabled:
+            spans.record(
+                f"engine.{api}", start, elapsed,
+                template=self.template.name, seq=self._instance_index,
+            )
+
     def selectivity_vector(self, instance: QueryInstance) -> SelectivityVector:
         """Compute the instance's sVector (cheap; always on the hot path)."""
         start = time.perf_counter()
         sv = self.estimator.selectivity_vector(self.template, instance)
-        self.counters.selectivity.record(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        self.counters.selectivity.record(elapsed)
+        if self.instruments is not None:
+            self._observe_call("selectivity", start, elapsed)
         return sv
 
     def optimize(self, sv: SelectivityVector) -> OptimizationResult:
@@ -145,6 +166,8 @@ class EngineAPI:
                 TraceEventKind.OPTIMIZE, self._instance_index, elapsed,
                 detail=result.plan.signature()[:80],
             )
+        if self.instruments is not None:
+            self._observe_call("optimize", start, elapsed)
         return result
 
     def recost(self, shrunken: ShrunkenMemo, sv: SelectivityVector) -> float:
@@ -157,6 +180,8 @@ class EngineAPI:
             self.trace.api_call(
                 TraceEventKind.RECOST, self._instance_index, elapsed
             )
+        if self.instruments is not None:
+            self._observe_call("recost", start, elapsed)
         return cost
 
     def reset_counters(self) -> None:

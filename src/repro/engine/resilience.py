@@ -41,6 +41,7 @@ from typing import Callable, Optional, TypeVar
 from ..optimizer.optimizer import OptimizationResult
 from ..optimizer.recost import ShrunkenMemo
 from ..query.instance import QueryInstance, SelectivityVector
+from ..obs.handle import base_engine
 from .api import EngineAPI
 from .faults import EngineFault, EngineTimeoutError
 
@@ -284,6 +285,11 @@ class ResilientEngineAPI:
 
     # -- retry machinery -----------------------------------------------------
 
+    @property
+    def _instruments(self):
+        """Registry instruments attached to the base engine (or None)."""
+        return getattr(base_engine(self.inner), "instruments", None)
+
     def _count_fault(self, api: str) -> None:
         res = self.counters.resilience
         if api == "optimize":
@@ -292,6 +298,14 @@ class ResilientEngineAPI:
             res.faults_recost += 1
         else:
             res.faults_selectivity += 1
+        instruments = self._instruments
+        if instruments is not None:
+            instruments.faults[api].inc()
+
+    def _count_degraded(self, api: str) -> None:
+        instruments = self._instruments
+        if instruments is not None:
+            instruments.degraded[api].inc()
 
     def _attempt(
         self,
@@ -351,6 +365,9 @@ class ResilientEngineAPI:
                     ):
                         break  # budget can't fund another attempt
                     self.counters.resilience.retries += 1
+                    instruments = self._instruments
+                    if instruments is not None:
+                        instruments.retries.inc()
                     if self.trace is not None:
                         self.trace.retry(api, self._index, attempt, backoff)
                     self._sleep(backoff)
@@ -402,6 +419,7 @@ class ResilientEngineAPI:
                  for s in self._last_good_sv]
             )
             self.counters.resilience.selectivity_fallbacks += 1
+            self._count_degraded("selectivity")
             self._tls.selectivity_degraded = True
             if self.trace is not None:
                 self.trace.degraded(
@@ -442,6 +460,7 @@ class ResilientEngineAPI:
             res = self.counters.resilience
             res.breaker_short_circuits += 1
             res.recost_failed_closed += 1
+            self._count_degraded("recost")
             if self.trace is not None:
                 self.trace.degraded("recost", self._index, detail="breaker open")
             return math.inf
@@ -467,6 +486,7 @@ class ResilientEngineAPI:
             )
         except FAILURE_TYPES:
             self.counters.resilience.recost_failed_closed += 1
+            self._count_degraded("recost")
             if self.trace is not None:
                 self.trace.degraded(
                     "recost", self._index, detail="failed closed (miss)"
@@ -479,6 +499,9 @@ class ResilientEngineAPI:
             res.breaker_opens += 1
         elif transition.endswith("->closed"):
             res.breaker_closes += 1
+        instruments = self._instruments
+        if instruments is not None:
+            instruments.breaker_transition(transition)
         if self.trace is not None:
             self.trace.breaker("recost", self._index, transition)
 

@@ -9,9 +9,15 @@ sequences precisely.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator, Optional
+
+#: Default ring capacity.  Far above anything a test or example emits
+#: (the golden trace is a few hundred events) but bounded, so a serving
+#: process tracing forever cannot grow without limit.
+DEFAULT_TRACE_CAPACITY = 65536
 
 
 class TraceEventKind(Enum):
@@ -45,16 +51,51 @@ class TraceEvent:
     certified_bound: Optional[float] = None
 
 
-@dataclass
 class TraceLog:
-    """An append-only in-memory trace with simple query helpers."""
+    """A bounded in-memory trace with simple query helpers.
 
-    events: list[TraceEvent] = field(default_factory=list)
-    enabled: bool = True
+    ``record`` is lock-guarded so concurrent serving shards can share
+    one log without interleaving corruption; retention is a ring buffer
+    of ``capacity`` events — once full, the oldest events are replaced
+    and counted in :attr:`dropped_events` instead of growing without
+    bound.  ``events`` reads a consistent oldest-first snapshot, so all
+    existing call sites (and the golden-trace fixture, whose runs stay
+    far below the default capacity) see the same sequence as before.
+    """
+
+    def __init__(
+        self,
+        events: Optional[list[TraceEvent]] = None,
+        enabled: bool = True,
+        capacity: int = DEFAULT_TRACE_CAPACITY,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("trace capacity must be >= 1")
+        self.enabled = enabled
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: list[TraceEvent] = list(events) if events else []
+        self._start = 0            # ring read position once saturated
+        self.dropped_events = 0
+        self.total_recorded = len(self._ring)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Retained events, oldest first (consistent snapshot)."""
+        with self._lock:
+            return self._ring[self._start:] + self._ring[: self._start]
 
     def record(self, event: TraceEvent) -> None:
-        if self.enabled:
-            self.events.append(event)
+        if not self.enabled:
+            return
+        with self._lock:
+            self.total_recorded += 1
+            if len(self._ring) < self.capacity:
+                self._ring.append(event)
+            else:
+                self._ring[self._start] = event
+                self._start = (self._start + 1) % self.capacity
+                self.dropped_events += 1
 
     def decision(
         self,

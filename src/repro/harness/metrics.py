@@ -149,6 +149,24 @@ class LatencySummary:
             max_ms=float(arr.max()),
         )
 
+    @classmethod
+    def from_histogram(cls, histogram) -> "LatencySummary":
+        """Summary from a registry :class:`~repro.obs.registry.Histogram`
+        child (seconds buckets).  Percentiles are bucket-interpolated —
+        the raw samples are gone once aggregated — so they agree with
+        :meth:`from_seconds` only up to bucket resolution; ``max`` is
+        clamped to the highest finite bucket edge reached."""
+        count = histogram.count
+        if count == 0:
+            return cls(count=0, mean_ms=0.0, p50_ms=0.0, p99_ms=0.0, max_ms=0.0)
+        return cls(
+            count=count,
+            mean_ms=histogram.sum / count * 1e3,
+            p50_ms=histogram.quantile(0.50) * 1e3,
+            p99_ms=histogram.quantile(0.99) * 1e3,
+            max_ms=histogram.quantile(1.0) * 1e3,
+        )
+
 
 @dataclass(frozen=True)
 class ServiceLevelSummary:

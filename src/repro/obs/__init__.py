@@ -1,0 +1,90 @@
+"""``repro.obs`` — the unified observability layer.
+
+A dependency-free metrics registry (counters, gauges, histograms),
+decision spans for the SCR pipeline, a runtime guarantee audit trail,
+and exporters (Prometheus text exposition, JSONL span streaming), all
+hanging off one injectable :class:`Observability` handle.
+"""
+
+from .audit import (
+    CERTIFIED_BOUND,
+    DEGRADED_REASONS,
+    LAMBDA_VIOLATIONS,
+    OUTCOMES,
+    RESPONSES_TOTAL,
+    VIOLATION_EPSILON,
+    GuaranteeAudit,
+)
+from .clock import SYSTEM_CLOCK, Clock, FakeClock, as_clock
+from .exporters import (
+    JsonlWriter,
+    snapshot_rows,
+    to_prometheus,
+    write_spans_jsonl,
+    write_trace_jsonl,
+)
+from .handle import (
+    BREAKER_OPEN,
+    BREAKER_TRANSITIONS,
+    ENGINE_CALL_SECONDS,
+    ENGINE_DEGRADED,
+    ENGINE_FAULTS,
+    ENGINE_RETRIES,
+    EngineInstruments,
+    Observability,
+    base_engine,
+    instrument_engine,
+)
+from .registry import (
+    BOUND_BUCKETS,
+    DEFAULT_MAX_SERIES,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LabelCardinalityError,
+    MetricFamily,
+    MetricsRegistry,
+)
+from .spans import DEFAULT_SPAN_CAPACITY, Span, SpanRecorder
+
+__all__ = [
+    "BOUND_BUCKETS",
+    "BREAKER_OPEN",
+    "BREAKER_TRANSITIONS",
+    "CERTIFIED_BOUND",
+    "Clock",
+    "Counter",
+    "DEFAULT_MAX_SERIES",
+    "DEFAULT_SPAN_CAPACITY",
+    "DEGRADED_REASONS",
+    "ENGINE_CALL_SECONDS",
+    "ENGINE_DEGRADED",
+    "ENGINE_FAULTS",
+    "ENGINE_RETRIES",
+    "EngineInstruments",
+    "FakeClock",
+    "Gauge",
+    "GuaranteeAudit",
+    "Histogram",
+    "JsonlWriter",
+    "LAMBDA_VIOLATIONS",
+    "LATENCY_BUCKETS",
+    "LabelCardinalityError",
+    "MetricFamily",
+    "MetricsRegistry",
+    "OUTCOMES",
+    "Observability",
+    "RESPONSES_TOTAL",
+    "SYSTEM_CLOCK",
+    "Span",
+    "SpanRecorder",
+    "VIOLATION_EPSILON",
+    "as_clock",
+    "base_engine",
+    "instrument_engine",
+    "snapshot_rows",
+    "to_prometheus",
+    "write_spans_jsonl",
+    "write_trace_jsonl",
+]

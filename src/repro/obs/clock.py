@@ -1,0 +1,95 @@
+"""One injectable clock source for the whole serving stack.
+
+Before this module, each layer picked its own time source ad hoc —
+:func:`time.perf_counter` for latency samples, :func:`time.monotonic`
+for deadlines, private ``clock`` kwargs on the overload machinery — so
+a test that wanted to fake time had to patch three different seams and
+spans could never be correlated with deadlines.  A :class:`Clock`
+bundles the three operations every layer needs (monotonic "deadline"
+time, high-resolution "duration" time, sleep) behind one handle that
+the :class:`~repro.obs.Observability` handle carries and every layer
+shares.
+
+:class:`FakeClock` advances only when told to (or when slept on), which
+makes deadline, span and brownout behaviour fully deterministic in
+tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Union
+
+
+@dataclass(frozen=True)
+class Clock:
+    """The three time operations the serving stack uses.
+
+    ``monotonic`` feeds deadlines and brownout windows (absolute,
+    never-jumping values); ``perf_counter`` feeds latency samples and
+    span durations (highest available resolution); ``sleep`` is what
+    backoff and pacing call, so a fake clock can turn waiting into
+    instantaneous time travel.
+    """
+
+    monotonic: Callable[[], float] = time.monotonic
+    perf_counter: Callable[[], float] = time.perf_counter
+    sleep: Callable[[float], None] = time.sleep
+
+
+#: The process-wide default: real wall time.
+SYSTEM_CLOCK = Clock()
+
+#: Layers that historically took a bare ``clock`` callable (returning
+#: monotonic seconds) still accept one; :func:`as_clock` upgrades it.
+ClockLike = Union[Clock, Callable[[], float]]
+
+
+def as_clock(source: ClockLike) -> Clock:
+    """Normalize a :class:`Clock` or legacy monotonic callable.
+
+    A bare callable becomes a :class:`Clock` whose monotonic *and*
+    perf-counter views are that callable (one fake time line), with a
+    no-op sleep — the semantics every existing fake-clock test assumed.
+    """
+    if isinstance(source, Clock):
+        return source
+    if not callable(source):
+        raise TypeError(f"clock source must be a Clock or callable, got {source!r}")
+    return Clock(monotonic=source, perf_counter=source, sleep=lambda _s: None)
+
+
+@dataclass
+class FakeClock:
+    """A manually-advanced clock for deterministic tests.
+
+    All three views share one time line: ``advance`` moves it, and
+    ``sleep`` advances it by the requested amount instead of blocking.
+    Use ``fake.clock`` (a :class:`Clock`) anywhere a clock is injected.
+    """
+
+    now: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        with self._lock:
+            self.now += seconds
+
+    def monotonic(self) -> float:
+        with self._lock:
+            return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(max(0.0, seconds))
+
+    @property
+    def clock(self) -> Clock:
+        return Clock(
+            monotonic=self.monotonic,
+            perf_counter=self.monotonic,
+            sleep=self.sleep,
+        )

@@ -1,0 +1,167 @@
+"""Exporters: Prometheus text exposition and JSONL streaming sinks.
+
+Three ways the observability state leaves the process:
+
+* :func:`to_prometheus` — the registry as Prometheus text exposition
+  (version 0.0.4): ``# HELP`` / ``# TYPE`` headers, deterministic
+  family and label ordering, histogram ``_bucket``/``_sum``/``_count``
+  expansion.  Deterministic output is a feature — the golden-file test
+  byte-compares it.
+* :class:`JsonlWriter` — an append-only JSONL file sink; attach one to
+  a :class:`~repro.obs.spans.SpanRecorder` to stream every span as it
+  completes, or use :func:`write_spans_jsonl` /
+  :func:`write_trace_jsonl` for one-shot dumps.
+* :func:`snapshot_rows` — flat rows for the CLI's table renderer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import IO, Iterable, Optional, Union
+
+from .registry import MetricsRegistry
+from .spans import Span, SpanRecorder
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number: integers bare, +Inf spelled out."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(names: tuple[str, ...], values: tuple[str, ...],
+                   extra: Optional[tuple[str, str]] = None) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    if extra is not None:
+        pairs.append(f'{extra[0]}="{_escape_label_value(extra[1])}"')
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry as Prometheus text exposition."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for values, child in family.samples():
+            if family.kind == "histogram":
+                for edge, count in child.bucket_counts():
+                    labels = _format_labels(
+                        family.label_names, values,
+                        extra=("le", _format_value(edge)),
+                    )
+                    lines.append(f"{family.name}_bucket{labels} {count}")
+                labels = _format_labels(family.label_names, values)
+                lines.append(
+                    f"{family.name}_sum{labels} {_format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{labels} {child.count}")
+            else:
+                labels = _format_labels(family.label_names, values)
+                lines.append(
+                    f"{family.name}{labels} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class JsonlWriter:
+    """An append-only JSONL sink usable as a live span stream.
+
+    ``writer(span)`` (the instance is callable) serializes one span per
+    line, so ``recorder.attach_sink(JsonlWriter(path))`` streams the
+    trace as it happens.  Also accepts plain dicts for trace events.
+    """
+
+    def __init__(self, target: Union[str, IO[str]],
+                 include_timing: bool = True) -> None:
+        if isinstance(target, str):
+            self._fh: IO[str] = open(target, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.include_timing = include_timing
+        self.rows_written = 0
+
+    def __call__(self, event: Union[Span, dict]) -> None:
+        self.write(event)
+
+    def write(self, event: Union[Span, dict]) -> None:
+        row = (
+            event.to_jsonable(include_timing=self.include_timing)
+            if isinstance(event, Span)
+            else event
+        )
+        self._fh.write(json.dumps(row, sort_keys=True) + "\n")
+        self.rows_written += 1
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_spans_jsonl(
+    recorder: SpanRecorder,
+    target: Union[str, IO[str]],
+    include_timing: bool = True,
+) -> int:
+    """One-shot dump of the recorder's retained spans; returns rows."""
+    with JsonlWriter(target, include_timing=include_timing) as writer:
+        for span in recorder.spans():
+            writer.write(span)
+        return writer.rows_written
+
+
+def write_trace_jsonl(trace, target: Union[str, IO[str]],
+                      include_timing: bool = False) -> int:
+    """Dump a :class:`~repro.engine.tracing.TraceLog` as JSONL rows."""
+    with JsonlWriter(target) as writer:
+        for row in trace.to_jsonable(include_timing=include_timing):
+            writer.write(row)
+        return writer.rows_written
+
+
+def snapshot_rows(registry: MetricsRegistry,
+                  names: Optional[Iterable[str]] = None) -> list[dict]:
+    """Flat per-series rows for the CLI table renderer."""
+    wanted = set(names) if names is not None else None
+    rows = []
+    for family in registry.families():
+        if wanted is not None and family.name not in wanted:
+            continue
+        for values, child in family.samples():
+            row: dict = {"metric": family.name}
+            row.update(dict(zip(family.label_names, values)))
+            if family.kind == "histogram":
+                row["count"] = child.count
+                row["p50"] = round(child.quantile(0.50), 6)
+                row["p99"] = round(child.quantile(0.99), 6)
+                row["sum"] = round(child.sum, 6)
+            else:
+                value = child.value
+                row["value"] = int(value) if value.is_integer() else round(value, 6)
+            rows.append(row)
+    return rows

@@ -1,0 +1,139 @@
+"""Lightweight decision spans for the SCR pipeline and engine calls.
+
+A span is one timed phase of serving a query instance — the
+selectivity check, the cost check, an optimizer call, the redundancy
+check — with a small attribute bag (template, outcome, counts).  Spans
+answer the question metrics aggregates can't: *where did this
+particular response spend its time, and which check decided it?*
+
+The recorder is a bounded ring buffer (the same discipline as the
+fixed :class:`~repro.engine.tracing.TraceLog`): a serving process
+emitting spans forever must not grow without bound, so old spans are
+dropped and counted instead.  An optional sink receives every span as
+it completes, which is how the JSONL streaming exporter hooks in.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .clock import Clock, SYSTEM_CLOCK
+
+#: Default ring capacity; ~100 bytes/span keeps this comfortably small.
+DEFAULT_SPAN_CAPACITY = 16384
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed timed phase."""
+
+    name: str
+    seq: int
+    start_s: float
+    duration_s: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_jsonable(self, include_timing: bool = True) -> dict:
+        """One JSONL row.  Timing can be excluded for byte-reproducible
+        golden fixtures of deterministic runs (same convention as
+        :meth:`TraceLog.to_jsonable`)."""
+        row: dict = {"span": self.name, "seq": self.seq}
+        if include_timing:
+            row["start_s"] = round(self.start_s, 9)
+            row["duration_s"] = round(self.duration_s, 9)
+        if self.attrs:
+            row["attrs"] = {
+                k: self.attrs[k] for k in sorted(self.attrs)
+            }
+        return row
+
+
+class SpanRecorder:
+    """Thread-safe bounded recorder of :class:`Span` events.
+
+    ``enabled=False`` makes every operation a near-free no-op, so the
+    instrumented hot paths cost one attribute check when spans are off.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_SPAN_CAPACITY,
+        clock: Clock = SYSTEM_CLOCK,
+        enabled: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("span capacity must be >= 1")
+        self.capacity = capacity
+        self.clock = clock
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._ring: list[Optional[Span]] = []
+        self._start = 0           # ring read position once saturated
+        self._next_seq = 0
+        self.dropped = 0
+        self._sinks: list[Callable[[Span], None]] = []
+
+    def attach_sink(self, sink: Callable[[Span], None]) -> None:
+        """Stream every subsequently recorded span to ``sink`` too."""
+        with self._lock:
+            self._sinks.append(sink)
+
+    def record(
+        self, name: str, start_s: float, duration_s: float, **attrs: object
+    ) -> Optional[Span]:
+        if not self.enabled:
+            return None
+        with self._lock:
+            span = Span(
+                name=name, seq=self._next_seq, start_s=start_s,
+                duration_s=duration_s, attrs=attrs,
+            )
+            self._next_seq += 1
+            if len(self._ring) < self.capacity:
+                self._ring.append(span)
+            else:
+                self._ring[self._start] = span
+                self._start = (self._start + 1) % self.capacity
+                self.dropped += 1
+            sinks = list(self._sinks)
+        for sink in sinks:
+            sink(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attrs: object):
+        """Time a block; extra attributes can be added to the yielded
+        dict (it is merged into the span's attrs on exit)."""
+        if not self.enabled:
+            yield attrs
+            return
+        start = self.clock.perf_counter()
+        try:
+            yield attrs
+        finally:
+            self.record(
+                name, start, self.clock.perf_counter() - start, **attrs
+            )
+
+    def spans(self) -> list[Span]:
+        """Retained spans, oldest first."""
+        with self._lock:
+            return self._ring[self._start:] + self._ring[:self._start]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def total_recorded(self) -> int:
+        with self._lock:
+            return self._next_seq
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring = []
+            self._start = 0
+            self.dropped = 0

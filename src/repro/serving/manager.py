@@ -35,6 +35,7 @@ from ..core.dynamic_lambda import PressureRelaxedLambda
 from ..core.manager import PQOManager, TemplateState
 from ..core.technique import PlanChoice
 from ..engine.tracing import TraceLog
+from ..obs.handle import Observability, instrument_engine
 from ..query.instance import QueryInstance
 from ..query.template import QueryTemplate
 from .overload import Deadline, OverloadCoordinator, OverloadPolicy, ShutdownError
@@ -63,6 +64,11 @@ class ConcurrentPQOManager(PQOManager):
     max_workers: int = 8
     trace: Optional[TraceLog] = None
     overload: Optional[OverloadPolicy] = None
+    #: Optional unified observability handle (metrics registry, spans,
+    #: guarantee audit).  When set, every registered template's engine,
+    #: SCR pipeline and shard report into it, and the overload
+    #: coordinator shares its clock.
+    obs: Optional[Observability] = None
     _shards: dict[str, TemplateShard] = field(default_factory=dict)
     _executor: Optional[ThreadPoolExecutor] = field(
         default=None, init=False, repr=False
@@ -89,9 +95,15 @@ class ConcurrentPQOManager(PQOManager):
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if self.overload is not None:
+            kwargs = {}
+            if self.obs is not None:
+                # One clock source for coordinator, shards and spans.
+                kwargs["clock"] = self.obs.clock
             self._overload_coordinator = OverloadCoordinator(
-                self.overload, trace=self.trace
+                self.overload, trace=self.trace, **kwargs
             )
+            if self.obs is not None:
+                self._overload_coordinator.attach_obs(self.obs)
         self._executor = ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="pqo-serve"
         )
@@ -113,10 +125,17 @@ class ConcurrentPQOManager(PQOManager):
             if ov is not None:
                 self._install_pressure_lambda(state)
                 ov.register_shard()
+            if self.obs is not None:
+                # Wire the whole stack into the one handle: engine-call
+                # histograms/spans, getPlan phase spans, and the SCR's
+                # certified-bound audit feed.
+                instrument_engine(state.engine, self.obs)
+                state.scr.obs = self.obs
+                state.scr.get_plan.spans = self.obs.spans
             with self._all_shard_locks():
                 self._templates[template.name] = state
                 self._shards[template.name] = TemplateShard(
-                    state, trace=self.trace, overload=ov
+                    state, trace=self.trace, overload=ov, obs=self.obs
                 )
                 self._apply_budgets()
         return state
@@ -434,6 +453,23 @@ class ConcurrentPQOManager(PQOManager):
         if self._overload_coordinator is None:
             return None
         return self._overload_coordinator.report()
+
+    def obs_report(self) -> Optional[dict[str, object]]:
+        """The observability handle's snapshot (None when no handle).
+
+        Includes the outcome totals, the λ-violation count and events,
+        span accounting, and the full metrics dump — the programmatic
+        twin of the ``repro obs-report`` CLI command.
+        """
+        if self.obs is None:
+            return None
+        return self.obs.report()
+
+    def prometheus(self) -> Optional[str]:
+        """The registry as Prometheus text exposition (None when off)."""
+        if self.obs is None:
+            return None
+        return self.obs.prometheus()
 
     @property
     def brownout_level(self):

@@ -38,7 +38,15 @@ import threading
 import time
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
+
+from ..obs.clock import Clock, as_clock
+from ..obs.handle import Observability
+
+BROWNOUT_LEVEL = "repro_brownout_level"
+BROWNOUT_TRANSITIONS_TOTAL = "repro_brownout_transitions_total"
+PENDING_REQUESTS = "repro_pending_requests"
+GATE_WAIT_SECONDS = "repro_gate_wait_seconds"
 
 
 class ShedError(RuntimeError):
@@ -82,10 +90,14 @@ class Deadline:
 
     @classmethod
     def after(
-        cls, seconds: float, clock: Callable[[], float] = time.monotonic
+        cls,
+        seconds: float,
+        clock: Union[Clock, Callable[[], float]] = time.monotonic,
     ) -> "Deadline":
         if seconds < 0:
             raise ValueError("deadline budget must be >= 0")
+        if isinstance(clock, Clock):
+            clock = clock.monotonic
         return cls(expires_at=clock() + seconds, budget_seconds=seconds)
 
     def remaining(self, now: Optional[float] = None) -> float:
@@ -116,7 +128,7 @@ class OptimizerGate:
         concurrency: int,
         tokens_per_second: Optional[float] = None,
         burst: Optional[int] = None,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Union[Clock, Callable[[], float]] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if concurrency < 1:
@@ -127,7 +139,7 @@ class OptimizerGate:
         self.concurrency = concurrency
         self.tokens_per_second = tokens_per_second
         self.burst = float(burst if burst is not None else concurrency)
-        self._clock = clock
+        self._clock = clock.monotonic if isinstance(clock, Clock) else clock
         self._sleep = sleep
         self._lock = threading.Lock()
         self._tokens = self.burst
@@ -321,6 +333,20 @@ class BrownoutController:
         self._hot = 0
         self._calm = 0
         self._lock = threading.Lock()
+        self._m_level = None
+        self._m_transitions = None
+
+    def attach_obs(self, obs: Observability) -> None:
+        """Mirror the brownout level and transitions into the registry."""
+        self._m_level = obs.registry.gauge(
+            BROWNOUT_LEVEL,
+            "Current brownout level (0=normal ... 3=shed)",
+        ).labels()
+        self._m_transitions = obs.registry.counter(
+            BROWNOUT_TRANSITIONS_TOTAL,
+            "Brownout level changes by destination level",
+            labels=("to_level",),
+        )
 
     def evaluate(self, signals: OverloadSignals) -> Optional[BrownoutTransition]:
         """Consume one tick's signals; returns the transition, if any."""
@@ -360,6 +386,11 @@ class BrownoutController:
         )
         self.level = transition.current
         self.transitions.append(transition)
+        if self._m_level is not None:
+            self._m_level.set(int(transition.current))
+            self._m_transitions.labels(
+                to_level=transition.current.name.lower()
+            ).inc()
         if self.trace is not None:
             self.trace.overload(
                 "brownout",
@@ -388,20 +419,26 @@ class OverloadCoordinator:
         self,
         policy: OverloadPolicy,
         trace=None,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Union[Clock, Callable[[], float]] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.policy = policy
         self.trace = trace
-        self.clock = clock
+        # One unified clock source: tests and legacy callers may pass a
+        # bare monotonic callable; as_clock normalizes either form, and
+        # `self.clock` stays the plain callable shards and deadlines use.
+        self.clock_source = clock if isinstance(clock, Clock) else as_clock(clock)
+        self.clock = self.clock_source.monotonic
         self.controller = BrownoutController(policy, trace=trace)
         self.gate = OptimizerGate(
             concurrency=policy.optimizer_concurrency,
             tokens_per_second=policy.optimizer_tokens_per_second,
             burst=policy.optimizer_token_burst,
-            clock=clock,
+            clock=self.clock,
             sleep=sleep,
         )
+        self._obs: Optional[Observability] = None
+        self._m_pending = None
         self._lock = threading.Lock()
         self._pending = 0
         self._num_shards = 0
@@ -422,6 +459,19 @@ class OverloadCoordinator:
         return int(self.controller.level)
 
     # -- lifecycle -----------------------------------------------------------
+
+    def attach_obs(self, obs: Observability) -> None:
+        """Mirror the overload subsystem's state into the registry."""
+        self._obs = obs
+        self._m_pending = obs.registry.gauge(
+            PENDING_REQUESTS,
+            "Outstanding submissions across all shards",
+        ).labels()
+        obs.registry.gauge(
+            GATE_WAIT_SECONDS,
+            "Decayed average optimizer-gate wait (pressure signal)",
+        )
+        self.controller.attach_obs(obs)
 
     def register_shard(self) -> None:
         with self._lock:
@@ -449,12 +499,18 @@ class OverloadCoordinator:
             return False
         with self._lock:
             self._pending += 1
+            pending = self._pending
+        if self._m_pending is not None:
+            self._m_pending.set(pending)
         return True
 
     def exit_queue(self, stats) -> None:
         stats.note_dequeued()
         with self._lock:
             self._pending = max(0, self._pending - 1)
+            pending = self._pending
+        if self._m_pending is not None:
+            self._m_pending.set(pending)
 
     # -- miss-path admission -------------------------------------------------
 
@@ -535,6 +591,10 @@ class OverloadCoordinator:
     def report(self) -> dict[str, object]:
         """Operator-facing snapshot of the overload subsystem."""
         signals = self.signals()
+        if self._obs is not None:
+            self._obs.registry.gauge(GATE_WAIT_SECONDS).labels().set(
+                signals.gate_wait_seconds
+            )
         return {
             "brownout": self.controller.level.name.lower(),
             "transitions": len(self.controller.transitions),

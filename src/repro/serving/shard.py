@@ -29,7 +29,6 @@ behaves exactly as before.
 from __future__ import annotations
 
 import threading
-import time
 from contextlib import nullcontext
 from typing import Optional
 
@@ -39,6 +38,8 @@ from ..core.scr import SCR
 from ..core.technique import PlanChoice
 from ..engine.resilience import OptimizeUnavailableError
 from ..engine.tracing import TraceLog
+from ..obs.clock import SYSTEM_CLOCK
+from ..obs.handle import Observability
 from ..optimizer.recost import ShrunkenMemo
 from ..query.instance import QueryInstance, SelectivityVector
 from .overload import BrownoutLevel, Deadline, OverloadCoordinator, ShedError
@@ -59,6 +60,7 @@ class TemplateShard:
         trace: Optional[TraceLog] = None,
         flight_timeout_seconds: float = 30.0,
         overload: Optional[OverloadCoordinator] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.state = state
         self.scr: SCR = state.scr
@@ -68,6 +70,23 @@ class TemplateShard:
         self.lock = threading.RLock()
         self.stats = ServingStats(template=state.template.name)
         self._overload = overload
+        # One clock source for everything the shard times (latency,
+        # lock waits, deadlines): the coordinator's when overload is
+        # configured — so a test's fake clock drives all of it — the
+        # system clock otherwise.  Previously latency used
+        # time.perf_counter while deadlines used the coordinator's
+        # monotonic callable, so fake clocks couldn't reach latencies.
+        # the coordinator's clock must win when present: deadlines are
+        # minted on it, and _now() must read the same timeline.
+        if overload is not None:
+            self.clock = overload.clock_source
+        elif obs is not None:
+            self.clock = obs.clock
+        else:
+            self.clock = SYSTEM_CLOCK
+        self._obs = obs
+        if obs is not None:
+            self.stats.attach_obs(obs)
         self._flight_lock = threading.Lock()
         self._inflight: dict[tuple[float, ...], threading.Event] = {}
         # Instance sequence numbers for trace attribution are allocated
@@ -93,7 +112,7 @@ class TemplateShard:
         thread: the probe runs selectivity-only (zero engine calls) and a
         miss goes straight to the degraded path with that reason.
         """
-        start = time.perf_counter()
+        start = self.clock.perf_counter()
         with self._seq_lock:
             seq = self._next_seq
             self._next_seq += 1
@@ -102,11 +121,14 @@ class TemplateShard:
         if deadline is None and ov is not None:
             deadline = ov.new_deadline()
         shed = False
+        outcome = "shed"
         try:
             with self._engine_budget(deadline):
-                return self._process_inner(
+                choice = self._process_inner(
                     instance, deadline, overflow_reason, start
                 )
+                outcome = "certified" if choice.certified else "uncertified"
+                return choice
         except ShedError:
             shed = True
             raise
@@ -116,6 +138,14 @@ class TemplateShard:
                 self.stats.note_deadline_miss()
             if ov is not None:
                 ov.note_completed(missed, shed=shed)
+            obs = self._obs
+            if obs is not None and obs.spans.enabled:
+                obs.spans.record(
+                    "serving.process", start,
+                    self.clock.perf_counter() - start,
+                    template=self.state.template.name, seq=seq,
+                    outcome=outcome,
+                )
 
     def _process_inner(
         self,
@@ -157,7 +187,7 @@ class TemplateShard:
             # approximate selectivities, so no bound is certified.
             choice.certified = False
         self.stats.observe(
-            time.perf_counter() - start, choice.check, choice.certified
+            self.clock.perf_counter() - start, choice.check, choice.certified
         )
         return choice
 
@@ -183,9 +213,7 @@ class TemplateShard:
     # -- overload plumbing ----------------------------------------------------
 
     def _now(self) -> float:
-        if self._overload is not None:
-            return self._overload.clock()
-        return time.monotonic()
+        return self.clock.monotonic()
 
     def _min_optimize_budget(self) -> float:
         if self._overload is not None:
@@ -222,9 +250,9 @@ class TemplateShard:
         )
         if not decision.hit:
             return self._miss(sv, decision, depth, deadline, max_recost, deny)
-        acquired_at = time.perf_counter()
+        acquired_at = self.clock.perf_counter()
         with self.lock:
-            self.stats.add_lock_wait(time.perf_counter() - acquired_at)
+            self.stats.add_lock_wait(self.clock.perf_counter() - acquired_at)
             if self._commit_valid(decision, snapshot):
                 scr.get_plan.commit(decision)
                 return self._finish_locked(scr._hit_choice(decision))
@@ -271,9 +299,9 @@ class TemplateShard:
         the gate, the deadline and any standing denial — contention must
         not become a hole in admission control.
         """
-        acquired_at = time.perf_counter()
+        acquired_at = self.clock.perf_counter()
         with self.lock:
-            self.stats.add_lock_wait(time.perf_counter() - acquired_at)
+            self.stats.add_lock_wait(self.clock.perf_counter() - acquired_at)
             if (
                 self._overload is None
                 and deadline is None
@@ -382,9 +410,9 @@ class TemplateShard:
             with self.stats.engine_calls.track():
                 result = scr._optimize(sv)
         except OptimizeUnavailableError:
-            acquired_at = time.perf_counter()
+            acquired_at = self.clock.perf_counter()
             with self.lock:
-                self.stats.add_lock_wait(time.perf_counter() - acquired_at)
+                self.stats.add_lock_wait(self.clock.perf_counter() - acquired_at)
                 # Book the miss (hit/miss counters, recost-call totals)
                 # exactly as the serial path does before degrading.
                 scr.get_plan.commit(decision)
@@ -392,9 +420,9 @@ class TemplateShard:
                 if fallback is None:
                     raise  # empty cache: nothing can be served
                 return self._finish_locked(fallback)
-        acquired_at = time.perf_counter()
+        acquired_at = self.clock.perf_counter()
         with self.lock:
-            self.stats.add_lock_wait(time.perf_counter() - acquired_at)
+            self.stats.add_lock_wait(self.clock.perf_counter() - acquired_at)
             scr.get_plan.commit(decision)
             return self._finish_locked(
                 scr._register_optimized(sv, result, decision.recost_calls)
@@ -404,16 +432,16 @@ class TemplateShard:
 
     def _degrade_entry(self, sv: SelectivityVector, reason: str) -> PlanChoice:
         """Resolve an instance whose budget expired before any probe ran."""
-        acquired_at = time.perf_counter()
+        acquired_at = self.clock.perf_counter()
         with self.lock:
-            self.stats.add_lock_wait(time.perf_counter() - acquired_at)
+            self.stats.add_lock_wait(self.clock.perf_counter() - acquired_at)
             return self._commit_degraded(sv, 0, reason)
 
     def _degrade_miss(self, sv: SelectivityVector, decision, reason: str) -> PlanChoice:
         """Resolve a denied miss: book it, then serve degraded."""
-        acquired_at = time.perf_counter()
+        acquired_at = self.clock.perf_counter()
         with self.lock:
-            self.stats.add_lock_wait(time.perf_counter() - acquired_at)
+            self.stats.add_lock_wait(self.clock.perf_counter() - acquired_at)
             self.scr.get_plan.commit(decision)
             return self._commit_degraded(sv, decision.recost_calls, reason)
 
@@ -427,7 +455,7 @@ class TemplateShard:
         """
         choice = self.scr._overload_choice(sv, recost_calls)
         if choice is None:
-            self.stats.note_shed()
+            self.stats.note_shed(f"{reason}:no_cached_plan")
             if self.trace is not None:
                 self.trace.overload(
                     "shed",
@@ -437,7 +465,7 @@ class TemplateShard:
             raise ShedError(
                 f"{reason}:no_cached_plan", template=self.state.template.name
             )
-        self.stats.note_overload_serve()
+        self.stats.note_overload_serve(reason)
         if self.trace is not None:
             self.trace.overload(
                 "uncertified_serve", self.scr.instances_processed, detail=reason

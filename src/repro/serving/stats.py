@@ -14,8 +14,17 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..harness.metrics import LatencySummary
+from ..obs.handle import Observability
+
+SERVING_LATENCY_SECONDS = "repro_serving_latency_seconds"
+CHECKS_TOTAL = "repro_checks_total"
+QUEUE_DEPTH = "repro_queue_depth"
+QUEUE_REJECTS_TOTAL = "repro_queue_rejects_total"
+DEADLINE_MISSES_TOTAL = "repro_deadline_misses_total"
+GATE_TIMEOUTS_TOTAL = "repro_gate_timeouts_total"
 
 
 class ConcurrencyGauge:
@@ -70,9 +79,61 @@ class ServingStats:
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     _started_at: float = field(default_factory=time.perf_counter, repr=False)
     _last_at: float = 0.0
+    _obs: Optional[Observability] = field(default=None, repr=False)
+
+    def attach_obs(self, obs: Observability) -> None:
+        """Mirror this shard's accounting into the metrics registry.
+
+        Pre-resolves the labeled children so the per-response cost is a
+        couple of lock-free-ish increments; once attached, the report
+        row's outcome columns are *sourced from the registry* (the ints
+        stay maintained for existing direct readers, and the exactly-
+        once identity across certified/uncertified/shed is enforced by
+        the audit counters).
+        """
+        registry = obs.registry
+        self._obs = obs
+        self._m_outcome = obs.audit.outcome_children(self.template)
+        self._m_check_children = {}
+        self._m_latency = registry.histogram(
+            SERVING_LATENCY_SECONDS,
+            "End-to-end serving latency per template",
+            labels=("template",),
+        ).labels(template=self.template)
+        self._m_checks = registry.counter(
+            CHECKS_TOTAL,
+            "Served responses by deciding check",
+            labels=("template", "check"),
+        )
+        self._m_queue = registry.gauge(
+            QUEUE_DEPTH,
+            "Outstanding (queued + running) requests",
+            labels=("template",),
+        ).labels(template=self.template)
+        self._m_queue_rejects = registry.counter(
+            QUEUE_REJECTS_TOTAL,
+            "Submissions refused by the bounded ingress queue",
+            labels=("template",),
+        ).labels(template=self.template)
+        self._m_deadline = registry.counter(
+            DEADLINE_MISSES_TOTAL,
+            "Completions past their deadline",
+            labels=("template",),
+        ).labels(template=self.template)
+        self._m_gate = registry.counter(
+            GATE_TIMEOUTS_TOTAL,
+            "Misses denied by the optimizer admission gate",
+            labels=("template",),
+        ).labels(template=self.template)
 
     def observe(self, latency_seconds: float, check: str, certified: bool) -> None:
-        """Record one served instance."""
+        """Record one served instance.
+
+        This is the single accounting point for every *served* response
+        (shed requests go through :meth:`note_shed` instead), so with an
+        observability handle attached it is also where the response's
+        one outcome counter — certified or uncertified — is incremented.
+        """
         with self._lock:
             self.processed += 1
             self.latencies_s.append(latency_seconds)
@@ -80,6 +141,17 @@ class ServingStats:
             if not certified:
                 self.uncertified += 1
             self._last_at = time.perf_counter()
+        if self._obs is not None:
+            self._m_outcome["certified" if certified else "uncertified"].inc()
+            self._m_latency.observe(latency_seconds)
+            # Benign race: a duplicate labels() resolves the same child.
+            check_child = self._m_check_children.get(check)
+            if check_child is None:
+                check_child = self._m_checks.labels(
+                    template=self.template, check=check
+                )
+                self._m_check_children[check] = check_child
+            check_child.inc()
 
     def add_lock_wait(self, seconds: float) -> None:
         with self._lock:
@@ -100,35 +172,64 @@ class ServingStats:
     # -- overload accounting -------------------------------------------------
 
     def try_enqueue(self, limit: int) -> bool:
-        """Atomically claim one bounded-queue slot; False when full."""
+        """Atomically claim one bounded-queue slot; False when full.
+
+        The lock-guarded int stays authoritative (the check-and-inc must
+        be atomic); the registry gauge mirrors it for exporters.
+        """
         with self._lock:
             if self.queue_depth >= limit:
                 self.queue_rejects += 1
-                return False
-            self.queue_depth += 1
-            if self.queue_depth > self.queue_high_water:
-                self.queue_high_water = self.queue_depth
-            return True
+                depth = None
+            else:
+                self.queue_depth += 1
+                if self.queue_depth > self.queue_high_water:
+                    self.queue_high_water = self.queue_depth
+                depth = self.queue_depth
+        if self._obs is not None:
+            if depth is None:
+                self._m_queue_rejects.inc()
+            else:
+                self._m_queue.set(depth)
+        return depth is not None
 
     def note_dequeued(self) -> None:
         with self._lock:
             self.queue_depth = max(0, self.queue_depth - 1)
+            depth = self.queue_depth
+        if self._obs is not None:
+            self._m_queue.set(depth)
 
-    def note_shed(self) -> None:
+    def note_shed(self, reason: str = "unknown") -> None:
+        """Record one refused request — the response's single outcome
+        counter for the shed path."""
         with self._lock:
             self.shed += 1
+        obs = self._obs
+        if obs is not None:
+            self._m_outcome["shed"].inc()
+            obs.audit.degraded(self.template, "shed", reason)
 
-    def note_overload_serve(self) -> None:
+    def note_overload_serve(self, reason: str = "brownout") -> None:
+        # Reason accounting only: the outcome counter for an overload
+        # serve is incremented by observe() when the response completes.
         with self._lock:
             self.overload_serves += 1
+        obs = self._obs
+        if obs is not None:
+            obs.audit.degraded(self.template, "uncertified", reason)
 
     def note_deadline_miss(self) -> None:
         with self._lock:
             self.deadline_misses += 1
+        if self._obs is not None:
+            self._m_deadline.inc()
 
     def note_gate_timeout(self) -> None:
         with self._lock:
             self.gate_timeouts += 1
+        if self._obs is not None:
+            self._m_gate.inc()
 
     # -- reporting -----------------------------------------------------------
 
@@ -146,11 +247,25 @@ class ServingStats:
             return self.processed / (self._last_at - self._started_at)
 
     def row(self) -> dict[str, object]:
-        """One report row (matches the harness table format)."""
+        """One report row (matches the harness table format).
+
+        With an observability handle attached, the outcome columns are
+        sourced from the metrics registry (same numbers, one source of
+        truth); the dict shape is identical either way.
+        """
         latency = self.latency
+        processed = self.processed
+        uncertified = self.uncertified
+        shed = self.shed
+        obs = self._obs
+        if obs is not None:
+            totals = obs.audit.outcome_totals(self.template)
+            processed = totals["certified"] + totals["uncertified"]
+            uncertified = totals["uncertified"]
+            shed = totals["shed"]
         return {
             "template": self.template,
-            "processed": self.processed,
+            "processed": processed,
             "throughput_s": round(self.throughput_per_second, 1),
             "p50_ms": round(latency.p50_ms, 3),
             "p99_ms": round(latency.p99_ms, 3),
@@ -159,8 +274,8 @@ class ServingStats:
             "sf_collapsed": self.single_flight_collapsed,
             "deduped": self.batch_deduped,
             "epoch_retries": self.epoch_retries,
-            "uncertified": self.uncertified,
-            "shed": self.shed,
+            "uncertified": uncertified,
+            "shed": shed,
             "overload_serves": self.overload_serves,
             "deadline_miss": self.deadline_misses,
             "gate_timeouts": self.gate_timeouts,

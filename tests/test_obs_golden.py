@@ -1,0 +1,162 @@
+"""Golden-file tests for the observability exporters.
+
+The Prometheus text exposition is byte-compared against a checked-in
+fixture — deterministic family/label ordering and number formatting are
+part of the exporter's contract (scrape pipelines and dashboards parse
+it).  The JSONL span stream is likewise byte-compared (under a fake
+clock) and schema-checked, companion to ``test_trace_golden.py``.
+
+Regenerate after an *intentional* format change with::
+
+    PYTHONPATH=src:tests python tests/test_obs_golden.py --regen
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+from repro.obs import (
+    FakeClock,
+    MetricsRegistry,
+    SpanRecorder,
+    to_prometheus,
+    write_spans_jsonl,
+)
+
+PROM_FIXTURE = Path(__file__).parent / "fixtures" / "golden_metrics.prom"
+SPANS_FIXTURE = Path(__file__).parent / "fixtures" / "golden_spans.jsonl"
+
+
+def build_golden_registry() -> MetricsRegistry:
+    """A small registry exercising every exposition feature: all three
+    kinds, multiple label sets, integer vs float formatting, bucket
+    edges hit exactly, the +Inf tail, and label-value escaping."""
+    registry = MetricsRegistry()
+    responses = registry.counter(
+        "repro_responses_total",
+        "Served responses by template and guarantee outcome",
+        labels=("template", "outcome"),
+    )
+    responses.labels(template="t1", outcome="certified").inc(41)
+    responses.labels(template="t1", outcome="uncertified").inc(2)
+    responses.labels(template="t2", outcome="certified").inc(7)
+
+    depth = registry.gauge(
+        "repro_queue_depth", "Outstanding requests", labels=("template",)
+    )
+    depth.labels(template="t1").set(3)
+    depth.labels(template="t2").set(0.5)
+
+    bounds = registry.histogram(
+        "repro_certified_bound",
+        "Certified sub-optimality bounds per response",
+        labels=("template",),
+        buckets=(1.0, 1.5, 2.0),
+    )
+    child = bounds.labels(template="t1")
+    for value in (1.0, 1.2, 1.5, 1.9, 2.0, 2.5):
+        child.observe(value)
+
+    weird = registry.counter(
+        "repro_escaping_total", "Label-value escaping", labels=("detail",)
+    )
+    weird.labels(detail='quote " backslash \\ newline \n end').inc()
+    return registry
+
+
+def build_golden_spans() -> SpanRecorder:
+    """Deterministic spans on a fake clock, one per pipeline phase."""
+    fake = FakeClock()
+    recorder = SpanRecorder(clock=fake.clock)
+    phases = [
+        ("scr.selectivity_check", 0.001, {"hit": False, "candidates": 2}),
+        ("scr.cost_check", 0.004, {"hit": True, "recost_calls": 2}),
+        ("engine.recost", 0.002, {"template": "t1", "seq": 0}),
+        ("scr.redundancy_check", 0.003, {"template": "t1", "cached": True}),
+        ("serving.process", 0.012, {"template": "t1", "seq": 0,
+                                    "outcome": "certified"}),
+    ]
+    for name, duration, attrs in phases:
+        start = fake.monotonic()
+        fake.advance(duration)
+        recorder.record(name, start, duration, **attrs)
+    return recorder
+
+
+def render_spans() -> str:
+    buffer = io.StringIO()
+    write_spans_jsonl(build_golden_spans(), buffer, include_timing=True)
+    return buffer.getvalue()
+
+
+def test_prometheus_exposition_matches_golden_fixture():
+    rendered = to_prometheus(build_golden_registry())
+    expected = PROM_FIXTURE.read_text(encoding="utf-8")
+    assert rendered == expected, (
+        "Prometheus exposition drifted from the golden fixture; if the "
+        "change is intentional, regenerate with "
+        "`PYTHONPATH=src:tests python tests/test_obs_golden.py --regen`"
+    )
+
+
+def test_prometheus_histogram_expansion_is_cumulative():
+    text = to_prometheus(build_golden_registry())
+    lines = [
+        line for line in text.splitlines()
+        if line.startswith("repro_certified_bound_bucket")
+    ]
+    counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+    assert counts == sorted(counts), "bucket counts must be cumulative"
+    assert lines[-1].startswith(
+        'repro_certified_bound_bucket{template="t1",le="+Inf"}'
+    )
+    assert 'repro_certified_bound_count{template="t1"} 6' in text
+
+
+def test_spans_jsonl_matches_golden_fixture():
+    assert render_spans() == SPANS_FIXTURE.read_text(encoding="utf-8")
+
+
+def test_spans_jsonl_schema():
+    rows = [json.loads(line) for line in render_spans().splitlines()]
+    assert len(rows) == 5
+    for i, row in enumerate(rows):
+        assert set(row) <= {"span", "seq", "start_s", "duration_s", "attrs"}
+        assert isinstance(row["span"], str)
+        assert row["seq"] == i               # recorder-assigned, gapless
+        assert isinstance(row["start_s"], (int, float))
+        assert isinstance(row["duration_s"], (int, float))
+        assert isinstance(row.get("attrs", {}), dict)
+    names = [row["span"] for row in rows]
+    assert names == [
+        "scr.selectivity_check", "scr.cost_check", "engine.recost",
+        "scr.redundancy_check", "serving.process",
+    ]
+
+
+def test_spans_jsonl_without_timing_is_reproducible():
+    buffer = io.StringIO()
+    write_spans_jsonl(build_golden_spans(), buffer, include_timing=False)
+    rows = [json.loads(line) for line in buffer.getvalue().splitlines()]
+    assert all("start_s" not in row and "duration_s" not in row
+               for row in rows)
+
+
+def _regen() -> None:
+    PROM_FIXTURE.write_text(
+        to_prometheus(build_golden_registry()), encoding="utf-8"
+    )
+    SPANS_FIXTURE.write_text(render_spans(), encoding="utf-8")
+    print(f"wrote {PROM_FIXTURE}")
+    print(f"wrote {SPANS_FIXTURE}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)
