@@ -12,12 +12,20 @@ handles:
    log-spaced grid sweep optimized *before* going online warms the
    cache so the first phase is already cheap.
 
-Run:  python examples/drift_and_seeding.py
+With ``--robust`` both scenarios run the robust check mode behind a
+noisy sVector API (seeded ±15% band): reuse decisions are then certified
+at the adversarial corner of each instance's uncertainty box, and the
+summary reports the certificate mix alongside the optimizer-call counts.
+
+Run:  python examples/drift_and_seeding.py [--robust]
 """
+
+import argparse
 
 from repro import Database, SCR, tpch_schema
 from repro.core.seeding import grid_points, seed_cache
 from repro.engine.api import EngineAPI
+from repro.engine.faults import NoisyEngine
 from repro.harness.figures import bar_chart
 from repro.optimizer.optimizer import QueryOptimizer
 from repro.query import QueryTemplate, join, range_predicate
@@ -37,12 +45,17 @@ def make_template() -> QueryTemplate:
     )
 
 
-def fresh_engine(db, template) -> EngineAPI:
+def fresh_engine(db, template, robust: bool = False) -> EngineAPI:
     optimizer = QueryOptimizer(template, db.stats, db.estimator, db.cost_model)
-    return EngineAPI(template, optimizer, db.estimator)
+    engine = EngineAPI(template, optimizer, db.estimator)
+    if robust:
+        # Honest estimation noise: the sVector comes back perturbed
+        # inside a ±15% band the robust checks certify against.
+        engine = NoisyEngine(engine, noise=0.15, seed=13)
+    return engine
 
 
-def run_phases(scr, workload, template_name):
+def run_phases(scr, workload, template_name, certificates=None):
     """Process the workload, returning optimizer calls per phase."""
     boundaries = [0] + workload.phase_boundaries() + [workload.total_length]
     instances = workload.instances(template_name)
@@ -50,23 +63,30 @@ def run_phases(scr, workload, template_name):
     for start, end in zip(boundaries, boundaries[1:]):
         before = scr.optimizer_calls
         for inst in instances[start:end]:
-            scr.process(inst)
+            choice = scr.process(inst)
+            if certificates is not None:
+                kind = choice.certificate if choice.certified else "uncertified"
+                certificates[kind] = certificates.get(kind, 0) + 1
         calls.append(scr.optimizer_calls - before)
     return calls
 
 
-def main() -> None:
+def main(robust: bool = False) -> None:
     print("Building the database and a 2-parameter join template...")
     db = Database.create(tpch_schema(scale=0.4), seed=21)
     template = make_template()
     workload = seasonal_workload(
         template.dimensions, phase_length=120, cycles=2, seed=3
     )
+    check_mode = "robust" if robust else "point"
+    mode_note = " (robust checks over a noisy sVector API)" if robust else ""
+    certificates: dict = {}
 
     print(f"\nScenario 1: cold SCR(2) over {workload.total_length} instances "
-          f"alternating small/large regimes")
-    cold = SCR(fresh_engine(db, template), lam=2.0)
-    cold_calls = run_phases(cold, workload, template.name)
+          f"alternating small/large regimes{mode_note}")
+    cold = SCR(fresh_engine(db, template, robust), lam=2.0,
+               check_mode=check_mode)
+    cold_calls = run_phases(cold, workload, template.name, certificates)
     labels = ["P1 small", "P2 large", "P3 small*", "P4 large*"]
     print(bar_chart(dict(zip(labels, map(float, cold_calls))),
                     title="optimizer calls per phase (cold start; * = regime recurs)"))
@@ -74,21 +94,30 @@ def main() -> None:
           f"{sum(cold_calls[:2])}: the cache remembers both regimes")
 
     print("\nScenario 2: the same workload after offline grid seeding")
-    warm_engine = fresh_engine(db, template)
-    warm = SCR(warm_engine, lam=2.0)
+    warm_engine = fresh_engine(db, template, robust)
+    warm = SCR(warm_engine, lam=2.0, check_mode=check_mode)
     report = seed_cache(warm, warm_engine, grid_points(template.dimensions, 6))
     print(f"  offline: optimized {report.points_optimized} grid points, "
           f"kept {report.plans_seeded} plans "
           f"({report.plans_rejected_redundant} rejected as redundant)")
-    warm_calls = run_phases(warm, workload, template.name)
+    warm_calls = run_phases(warm, workload, template.name, certificates)
     print(bar_chart(dict(zip(labels, map(float, warm_calls))),
                     title="optimizer calls per phase (seeded)"))
     print(f"\nTotals — cold: {sum(cold_calls)} online calls; "
           f"seeded: {sum(warm_calls)} online + {report.points_optimized} "
           f"offline.")
+    mix = ", ".join(
+        f"{kind}={count}" for kind, count in sorted(certificates.items())
+    )
+    print(f"Certificate mix across both scenarios: {mix}")
     print("Offline work is amortizable (run at deployment, off the "
           "latency path), which is the appeal of the section 9 hybrid.")
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--robust", action="store_true",
+        help="noisy sVector API + robust (corner-valid) guarantee checks",
+    )
+    main(robust=parser.parse_args().robust)

@@ -19,14 +19,20 @@ The run completes without a crash, and the final report shows the
 fault / retry / breaker accounting plus which instances kept the
 λ-guarantee.
 
-Run:  python examples/resilient_server.py
+With ``--robust`` the server additionally treats the sVector API as
+noisy (a seeded ±20% multiplicative band) and registers every template
+with ``check_mode="robust"``: certificates are then corner-valid over
+the whole noise band, and the final report shows the certificate mix.
+
+Run:  python examples/resilient_server.py [--robust]
 """
 
+import argparse
 import random
 
 from repro import Database, tpch_schema
 from repro.core.manager import PQOManager
-from repro.engine.faults import FaultConfig, FaultInjector, FaultProfile
+from repro.engine.faults import FaultConfig, FaultInjector, FaultProfile, NoisyEngine
 from repro.engine.resilience import (
     ResiliencePolicy,
     ResilientEngineAPI,
@@ -60,7 +66,7 @@ POLICY = ResiliencePolicy(
 )
 
 
-def main() -> None:
+def main(robust: bool = False) -> None:
     print("Booting the resilient PQO server on a TPC-H-like database...")
     db = Database.create(tpch_schema(scale=0.3), seed=9)
     trace = TraceLog()
@@ -78,18 +84,27 @@ def main() -> None:
             seed=len(injectors),
         )
         injectors[engine.template.name] = injector
-        return ResilientEngineAPI(injector, policy=POLICY, seed=len(injectors))
+        inner = injector
+        if robust:
+            # Estimation error on top of the faults: the sVector comes
+            # back perturbed inside an honest ±20% band, which the
+            # robust checks certify against at the adversarial corner.
+            inner = NoisyEngine(inner, noise=0.2, seed=len(injectors))
+        return ResilientEngineAPI(inner, policy=POLICY, seed=len(injectors))
 
     manager = PQOManager(
         database=db, global_plan_budget=10, engine_wrapper=chaos_wrapper
     )
 
+    scr_kwargs = {"check_mode": "robust"} if robust else {}
+    mode_note = " check=robust" if robust else ""
     templates = {}
     for name, sql in STATEMENTS.items():
         template = parse_sql(sql, name=name, database="tpch")
         templates[name] = template
-        manager.register(template, lam=2.0)
-        print(f"  registered {name:<16} d={template.dimensions} lambda=2.00")
+        manager.register(template, lam=2.0, **scr_kwargs)
+        print(f"  registered {name:<16} d={template.dimensions} "
+              f"lambda=2.00{mode_note}")
 
     rng = random.Random(4)
     mixed = [
@@ -100,6 +115,7 @@ def main() -> None:
     rng.shuffle(mixed)
 
     served = certified = fallbacks = 0
+    certificates = {}
 
     def serve(batch):
         nonlocal served, certified, fallbacks
@@ -110,6 +126,8 @@ def main() -> None:
             served += 1
             certified += choice.certified
             fallbacks += choice.check == "fallback"
+            kind = choice.certificate if choice.certified else "uncertified"
+            certificates[kind] = certificates.get(kind, 0) + 1
 
     third = len(mixed) // 3
     print(f"\nPhase 1: {third} instances through background chaos "
@@ -138,6 +156,10 @@ def main() -> None:
     print(f"  certified (λ-guaranteed) : {certified}")
     print(f"  uncertified (degraded)   : {served - certified}"
           f"  (of which optimizer fallbacks: {fallbacks})")
+    mix = ", ".join(
+        f"{kind}={count}" for kind, count in sorted(certificates.items())
+    )
+    print(f"  certificate mix          : {mix}")
     if manager.quarantined_templates:
         print(f"  quarantined templates    : {manager.quarantined_templates}")
 
@@ -174,4 +196,9 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--robust", action="store_true",
+        help="noisy sVector API + robust (corner-valid) guarantee checks",
+    )
+    main(robust=parser.parse_args().robust)

@@ -4,15 +4,25 @@ from .bounds import (
     BoundingFunction,
     LINEAR_BOUND,
     QUADRATIC_BOUND,
+    adversarial_corner,
+    compute_cost_gl,
     compute_g,
     compute_gl,
     compute_l,
     cost_bounds,
+    cost_corner,
     recost_suboptimality_bound,
     suboptimality_bound,
 )
 from .dynamic_lambda import DynamicLambda
-from .get_plan import CandidateOrder, CheckKind, GetPlan, GetPlanDecision
+from .get_plan import (
+    CandidateOrder,
+    CheckKind,
+    CheckMode,
+    GetPlan,
+    GetPlanDecision,
+    certificate_kind,
+)
 from .manage_cache import (
     EvictionPolicy,
     ManageCache,
@@ -56,6 +66,7 @@ __all__ = [
     "seed_cache",
     "CachedPlan",
     "CheckKind",
+    "CheckMode",
     "DynamicLambda",
     "GetPlan",
     "GetPlanDecision",
@@ -72,10 +83,14 @@ __all__ = [
     "SelectivityRegion",
     "ViolationDetector",
     "ViolationReport",
+    "adversarial_corner",
+    "certificate_kind",
+    "compute_cost_gl",
     "compute_g",
     "compute_gl",
     "compute_l",
     "cost_bounds",
+    "cost_corner",
     "default_lambda_r",
     "recost_suboptimality_bound",
     "suboptimality_bound",

@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..query.instance import SelectivityVector
+from ..query.instance import SelectivityVector, UncertainSelectivityVector
 
 
 @dataclass(frozen=True)
@@ -125,3 +125,92 @@ def recost_suboptimality_bound(
 def gl_log_distance(stored: SelectivityVector, new: SelectivityVector) -> float:
     """``ln(G * L)`` — the candidate-ordering key of section 6.2."""
     return sum(abs(math.log(alpha)) for alpha in stored.ratios(new))
+
+
+# -- adversarial corners (robust check mode; DESIGN.md §11) ------------------
+#
+# The robust checks must bound SubOpt for *every* sVector inside an
+# uncertainty box, not just the point estimate.  Because G·L and R·L^n
+# factor per dimension and each per-dimension factor is quasi-convex in
+# the unknown selectivity, the box maximum is attained at a per-dimension
+# interval *endpoint* — one extra vector op picks it, and the existing
+# bound arithmetic then runs unchanged on the corner vector.
+
+
+def adversarial_corner(
+    anchor: SelectivityVector, usv: UncertainSelectivityVector
+) -> SelectivityVector:
+    """The corner of ``usv``'s box maximizing ``G·L`` against ``anchor``.
+
+    Per dimension, with anchor selectivity ``e`` and unknown ``x``, the
+    G·L contribution is ``f(x) = max(x/e, e/x)`` — decreasing below
+    ``e``, increasing above, hence quasi-convex — so its maximum over
+    ``[lo, hi]`` sits at whichever endpoint is farther from ``e`` in
+    log space: ``hi`` iff ``ln(hi) - ln(e) >= ln(e) - ln(lo)``, i.e.
+    ``lo * hi >= e * e`` (ties break to ``hi``; either endpoint attains
+    the max then).  The returned vector therefore satisfies
+    ``(G·L)(anchor → corner) >= (G·L)(anchor → x)`` for every ``x`` in
+    the box, and for a zero-width box it *is* the point estimate, making
+    the robust check bit-for-bit identical to the point check there.
+    """
+    return SelectivityVector.from_sequence(
+        [hi if lo * hi >= e * e else lo
+         for e, lo, hi in zip(anchor, usv.lo, usv.hi)]
+    )
+
+
+def cost_corner(
+    point: SelectivityVector,
+    anchor: SelectivityVector,
+    usv: UncertainSelectivityVector,
+) -> SelectivityVector:
+    """The corner maximizing the recost-anchored bound ``G(c→x)·L(e→x)``.
+
+    The cost check's recost ratio ``R`` is measured at the *point*
+    estimate ``c``; transporting ``Cost(P, c)`` to an unknown true
+    vector ``x`` costs at most ``G(c→x)^n`` (Cost Bounding Lemma) while
+    the optimal-cost side keeps ``L(e→x)^n`` against the stored anchor
+    ``e``.  Per dimension the factor is
+    ``f(x) = max(x/c_i, 1) * max(e_i/x, 1)`` — a product of a
+    non-decreasing and a non-increasing quasi-convex piece whose shape is
+    decreasing, then constant, then increasing — so the box maximum is
+    again at an endpoint; we evaluate both and keep the larger (ties to
+    ``hi``).  For a zero-width box the corner equals ``c``, where
+    ``G(c→c) = 1`` and ``L(e→c)`` is the point check's L, reproducing
+    the point cost check exactly.
+    """
+
+    def factor(x: float, c: float, e: float) -> float:
+        g = x / c if x > c else 1.0
+        l = e / x if x < e else 1.0
+        return g * l
+
+    picked = []
+    for c, e, lo, hi in zip(point, anchor, usv.lo, usv.hi):
+        picked.append(hi if factor(hi, c, e) >= factor(lo, c, e) else lo)
+    return SelectivityVector.from_sequence(picked)
+
+
+def compute_cost_gl(
+    point: SelectivityVector,
+    anchor: SelectivityVector,
+    corner: SelectivityVector,
+) -> tuple[float, float]:
+    """``(G(point→corner), L(anchor→corner))`` for the robust cost check.
+
+    The increment factor transports the recost result from the point
+    estimate to the corner; the decrement factor is the ordinary L
+    against the stored anchor.  Both loops mirror :func:`compute_gl`'s
+    arithmetic exactly (``g *= alpha`` / ``l /= alpha``) so that a
+    zero-width box — where ``corner == point`` — reproduces the point
+    cost check's ``L`` bit-for-bit.
+    """
+    g = 1.0
+    for alpha in point.ratios(corner):
+        if alpha > 1.0:
+            g *= alpha
+    l = 1.0
+    for alpha in anchor.ratios(corner):
+        if alpha < 1.0:
+            l /= alpha
+    return g, l

@@ -48,17 +48,19 @@ class PressureRelaxedLambda:
 
     Wraps a base λ (a constant or any cost→λ schedule such as
     :class:`DynamicLambda`) and widens it by ``relax_factor`` whenever
-    ``level_provider()`` reports a brownout level of 1 (λ-relaxed) or
-    higher, clamped to ``ceiling``.  Widening λ trades optimality for
+    ``level_provider()`` reports a brownout level of ``relax_at_level``
+    or higher, clamped to ``ceiling``.  Widening λ trades optimality for
     optimizer calls *within the guarantee framework*: instances
     certified under pressure still satisfy ``SO ≤ λ_relaxed``, they just
-    carry the wider bound.  At level 0 the base λ is returned exactly,
-    so installing the hook is behaviour-neutral when the serving layer
-    is not under pressure.
+    carry the wider bound.  Below ``relax_at_level`` the base λ is
+    returned exactly, so installing the hook is behaviour-neutral when
+    the serving layer is not under pressure.
 
     ``level_provider`` is a plain ``() -> int`` so this core-layer hook
     has no dependency on the serving package; the serving coordinator
-    passes its brownout level accessor.
+    passes its brownout level accessor and the ladder position its
+    LAMBDA_RELAXED step occupies (coverage relaxation sits *below* it,
+    so λ must not widen there).
     """
 
     def __init__(
@@ -67,22 +69,26 @@ class PressureRelaxedLambda:
         level_provider: Callable[[], int],
         relax_factor: float = 1.5,
         ceiling: float | None = None,
+        relax_at_level: int = 1,
     ) -> None:
         if relax_factor < 1.0:
             raise ValueError("relax_factor must be >= 1")
         if ceiling is not None and ceiling < 1.0:
             raise ValueError("ceiling must be >= 1")
+        if relax_at_level < 1:
+            raise ValueError("relax_at_level must be >= 1")
         self.base = base
         self.level_provider = level_provider
         self.relax_factor = relax_factor
         self.ceiling = ceiling
+        self.relax_at_level = relax_at_level
 
     def base_lambda(self, cost: float) -> float:
         return self.base(cost) if callable(self.base) else self.base
 
     def __call__(self, cost: float) -> float:
         lam = self.base_lambda(cost)
-        if self.level_provider() >= 1:
+        if self.level_provider() >= self.relax_at_level:
             lam *= self.relax_factor
             if self.ceiling is not None:
                 lam = min(lam, self.ceiling)

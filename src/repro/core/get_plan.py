@@ -20,8 +20,20 @@ from typing import Callable, Iterable, Optional
 
 from ..obs.spans import SpanRecorder
 from ..optimizer.recost import ShrunkenMemo
-from ..query.instance import SelectivityVector
-from .bounds import BoundingFunction, LINEAR_BOUND, compute_gl
+from ..query.instance import (
+    AnySelectivityVector,
+    SelectivityVector,
+    UncertainSelectivityVector,
+    as_point,
+)
+from .bounds import (
+    BoundingFunction,
+    LINEAR_BOUND,
+    adversarial_corner,
+    compute_cost_gl,
+    compute_gl,
+    cost_corner,
+)
 from .plan_cache import InstanceEntry, PlanCache
 
 
@@ -31,6 +43,46 @@ class CheckKind(Enum):
     SELECTIVITY = "selectivity"
     COST = "cost"
     OPTIMIZER = "optimizer"
+
+
+class CheckMode(Enum):
+    """How the guarantee checks treat selectivity-estimation error.
+
+    * ``POINT`` — the paper's checks, evaluated at the point estimate
+      (certificates are exact *conditional on the estimate being
+      right*);
+    * ``ROBUST`` — evaluate every check at the adversarial corner of the
+      instance's uncertainty box, so a certification holds for *every*
+      sVector the box contains;
+    * ``PROBABILISTIC`` — robust checks against the box shrunk to a
+      target coverage ``p``, certifying ``SubOpt ≤ λ`` with probability
+      at least ``p``.
+    """
+
+    POINT = "point"
+    ROBUST = "robust"
+    PROBABILISTIC = "probabilistic"
+
+    @classmethod
+    def coerce(cls, mode: "CheckMode | str") -> "CheckMode":
+        if isinstance(mode, CheckMode):
+            return mode
+        return cls(mode)
+
+
+def certificate_kind(box: Optional[UncertainSelectivityVector]) -> str:
+    """The certificate kind a hit against ``box`` may claim.
+
+    A point check (no box) — or a zero-width hard box, i.e. exactly
+    known selectivities — certifies ``exact``; a hard box certifies
+    ``robust`` (valid for every vector in the box); a sub-1 coverage box
+    certifies ``probabilistic``.
+    """
+    if box is None or (box.is_point and box.coverage >= 1.0):
+        return "exact"
+    if box.coverage >= 1.0:
+        return "robust"
+    return "probabilistic"
 
 
 class CandidateOrder(Enum):
@@ -56,10 +108,19 @@ class GetPlanDecision:
     check: CheckKind
     anchor: Optional[InstanceEntry] = None
     recost_calls: int = 0
-    # Data for Appendix G violation detection (only set on cost checks):
+    # Data for Appendix G violation detection (g/l are always *point*
+    # values, even under robust checks — the live detector compares them
+    # against the executed plan, not against the adversarial corner):
     recost_ratio: float = 0.0
     g: float = 0.0
     l: float = 0.0
+    #: Corner-evaluated certified bound (set only by robust-mode hits);
+    #: valid for every sVector in the checked box.
+    bound_value: Optional[float] = None
+    #: Which certificate kind this decision may claim on a hit.
+    certificate: str = "exact"
+    #: Coverage of the box the certificate holds over (1.0 = hard).
+    coverage: float = 1.0
 
     @property
     def hit(self) -> bool:
@@ -67,7 +128,13 @@ class GetPlanDecision:
 
     @property
     def inferred_suboptimality(self) -> float:
-        """The bound certified for the reused plan (``S·G·L`` or ``S·R·L``)."""
+        """The bound certified for the reused plan.
+
+        ``S·G·L`` / ``S·R·L`` at the point estimate, or the
+        corner-evaluated :attr:`bound_value` under robust checks.
+        """
+        if self.bound_value is not None:
+            return self.bound_value
         if self.anchor is None:
             return 1.0
         if self.check is CheckKind.SELECTIVITY:
@@ -93,6 +160,13 @@ class GetPlan:
     lambda_for:
         Optional map from an anchor's optimal cost to the λ that anchors
         with that cost should enforce (the dynamic-λ extension).
+    check_mode:
+        How estimation error enters the checks (:class:`CheckMode`).
+        ``POINT`` is the paper's behavior; ``ROBUST`` and
+        ``PROBABILISTIC`` evaluate the checks at the adversarial corner
+        of the instance's uncertainty box.
+    target_coverage:
+        The coverage ``p`` that ``PROBABILISTIC`` mode certifies at.
     """
 
     cache: PlanCache
@@ -101,6 +175,8 @@ class GetPlan:
     bound: BoundingFunction = LINEAR_BOUND
     lambda_for: Optional[Callable[[float], float]] = None
     candidate_order: CandidateOrder = CandidateOrder.GL
+    check_mode: CheckMode = CheckMode.POINT
+    target_coverage: float = 0.95
     #: Optional span recorder timing the two check phases (set when an
     #: Observability handle is wired in; None keeps probes span-free).
     spans: Optional[SpanRecorder] = None
@@ -117,6 +193,11 @@ class GetPlan:
             raise ValueError("lambda must be >= 1")
         if self.max_recost_candidates < 0:
             raise ValueError("max_recost_candidates must be >= 0")
+        self.check_mode = CheckMode.coerce(self.check_mode)
+        if not (0.0 < self.target_coverage <= 1.0):
+            raise ValueError(
+                f"target_coverage must be in (0, 1], got {self.target_coverage}"
+            )
 
     def _effective_lambda(self, entry: InstanceEntry) -> float:
         if self.lambda_for is None:
@@ -125,7 +206,7 @@ class GetPlan:
 
     def __call__(
         self,
-        sv: SelectivityVector,
+        sv: AnySelectivityVector,
         recost: Callable[[ShrunkenMemo, SelectivityVector], float],
     ) -> GetPlanDecision:
         """Run both checks; ``recost`` is the engine's Recost API."""
@@ -133,12 +214,40 @@ class GetPlan:
         self.commit(decision)
         return decision
 
+    def _resolve_box(
+        self,
+        sv: AnySelectivityVector,
+        coverage: Optional[float],
+    ) -> tuple[SelectivityVector, Optional[UncertainSelectivityVector]]:
+        """Split the input into (point estimate, uncertainty box or None).
+
+        ``None`` means point checks.  In ``ROBUST`` mode a plain vector
+        becomes a zero-width box (selectivities taken as exact);
+        ``PROBABILISTIC`` shrinks the box to the configured coverage.  A
+        per-call ``coverage`` (the brownout ladder's COVERAGE_RELAXED
+        step) lowers the claim further — shrinking the box — in either
+        robust mode; it never widens one.
+        """
+        point = as_point(sv)
+        if self.check_mode is CheckMode.POINT:
+            return point, None
+        if isinstance(sv, UncertainSelectivityVector):
+            box = sv
+        else:
+            box = UncertainSelectivityVector.exact(sv)
+        if self.check_mode is CheckMode.PROBABILISTIC:
+            box = box.for_coverage(self.target_coverage)
+        if coverage is not None and coverage < box.coverage:
+            box = box.for_coverage(coverage)
+        return point, box
+
     def probe(
         self,
-        sv: SelectivityVector,
+        sv: AnySelectivityVector,
         recost: Callable[[ShrunkenMemo, SelectivityVector], float],
         entries: Optional[Iterable[InstanceEntry]] = None,
         max_recost: Optional[int] = None,
+        coverage: Optional[float] = None,
     ) -> GetPlanDecision:
         """Both checks, without committing any cache bookkeeping.
 
@@ -151,13 +260,18 @@ class GetPlan:
         ``max_recost`` lowers the cost-check cap for this call only —
         the overload path passes ``0`` to run the (free) selectivity
         check while spending zero engine calls under brownout.
+
+        ``coverage`` lowers the probability claim of robust-mode checks
+        for this call only (brownout's interval-relaxation step); point
+        mode ignores it.
         """
         if entries is None:
             entries = self.cache.instances()
+        point, box = self._resolve_box(sv, coverage)
         spans = self.spans
         timed = spans is not None and spans.enabled
         start = spans.clock.perf_counter() if timed else 0.0
-        decision, candidates = self._selectivity_phase(sv, entries)
+        decision, candidates = self._selectivity_phase(point, box, entries)
         if timed:
             spans.record(
                 "scr.selectivity_check", start,
@@ -168,7 +282,7 @@ class GetPlan:
             return decision
         if timed:
             start = spans.clock.perf_counter()
-        decision = self._cost_phase(sv, recost, candidates, max_recost)
+        decision = self._cost_phase(point, box, recost, candidates, max_recost)
         if timed:
             spans.record(
                 "scr.cost_check", start, spans.clock.perf_counter() - start,
@@ -178,7 +292,8 @@ class GetPlan:
 
     def _selectivity_phase(
         self,
-        sv: SelectivityVector,
+        point: SelectivityVector,
+        box: Optional[UncertainSelectivityVector],
         entries: Iterable[InstanceEntry],
     ) -> tuple[
         Optional[GetPlanDecision],
@@ -187,34 +302,64 @@ class GetPlan:
         """Selectivity check (pure arithmetic over the instance list).
 
         Returns a hit decision or, on a miss, the surviving cost-check
-        candidates as ``(G·L, G, L, entry)`` tuples.
+        candidates as ``(order key, G, L, entry)`` tuples where G/L are
+        point values and the key is the (corner) G·L product.
+
+        With a box, each entry costs one extra vector op: the
+        adversarial corner's G·L drives the check while the point G·L
+        still feeds the decision (the live violation detector compares
+        point values against the executed plan).
         """
+        robust = box is not None
+        cert = certificate_kind(box)
+        cov = box.coverage if robust else 1.0
         candidates: list[tuple[float, float, float, InstanceEntry]] = []
         for entry in entries:
             self.entries_scanned += 1
-            g, l = compute_gl(entry.sv, sv)
+            g, l = compute_gl(entry.sv, point)
+            if robust:
+                corner = adversarial_corner(entry.sv, box)
+                gc, lc = compute_gl(entry.sv, corner)
+            else:
+                gc, lc = g, l
+            check_value = self.bound.selectivity_bound(gc, lc)
             budget = self._effective_lambda(entry) / entry.suboptimality
-            if self.bound.selectivity_bound(g, l) <= budget:
+            if check_value <= budget:
                 return GetPlanDecision(
                     plan_id=entry.plan_id,
                     check=CheckKind.SELECTIVITY,
                     anchor=entry,
                     g=g,
                     l=l,
+                    bound_value=(
+                        entry.suboptimality * check_value if robust else None
+                    ),
+                    certificate=cert,
+                    coverage=cov,
                 ), candidates
             if not entry.retired:
-                candidates.append((g * l, g, l, entry))
+                candidates.append((gc * lc, g, l, entry))
         return None, candidates
 
     def _cost_phase(
         self,
-        sv: SelectivityVector,
+        point: SelectivityVector,
+        box: Optional[UncertainSelectivityVector],
         recost: Callable[[ShrunkenMemo, SelectivityVector], float],
         candidates: list[tuple[float, float, float, InstanceEntry]],
         max_recost: Optional[int] = None,
     ) -> GetPlanDecision:
         """Cost check: capped number of Recost calls, ordered per the
-        configured heuristic (G·L ascending is the paper's)."""
+        configured heuristic (G·L ascending is the paper's).
+
+        Recost always runs at the *point* estimate; with a box, the
+        Cost Bounding Lemma transports that cost to the corner
+        maximizing ``G(point→x)·L(anchor→x)``, so the certified bound
+        ``S·R·(G·L)^n`` holds for every sVector in the box.
+        """
+        robust = box is not None
+        cert = certificate_kind(box)
+        cov = box.coverage if robust else 1.0
         self._order_candidates(candidates)
         cap = self.max_recost_candidates
         if max_recost is not None:
@@ -224,11 +369,17 @@ class GetPlan:
             plan = self.cache.maybe_plan(entry.plan_id)
             if plan is None:
                 continue  # evicted under a concurrent probe; skip
-            new_cost = recost(plan.shrunken_memo, sv)
+            new_cost = recost(plan.shrunken_memo, point)
             recost_calls += 1
             r = new_cost / entry.optimal_cost
             budget = self._effective_lambda(entry) / entry.suboptimality
-            if self.bound.cost_bound(r, l) <= budget:
+            if robust:
+                corner = cost_corner(point, entry.sv, box)
+                gg, ll = compute_cost_gl(point, entry.sv, corner)
+                check_value = r * self.bound.selectivity_bound(gg, ll)
+            else:
+                check_value = self.bound.cost_bound(r, l)
+            if check_value <= budget:
                 return GetPlanDecision(
                     plan_id=entry.plan_id,
                     check=CheckKind.COST,
@@ -237,6 +388,11 @@ class GetPlan:
                     recost_ratio=r,
                     g=g,
                     l=l,
+                    bound_value=(
+                        entry.suboptimality * check_value if robust else None
+                    ),
+                    certificate=cert,
+                    coverage=cov,
                 )
         return GetPlanDecision(
             plan_id=None, check=CheckKind.OPTIMIZER, recost_calls=recost_calls

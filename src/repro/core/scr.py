@@ -21,9 +21,22 @@ from ..engine.api import EngineAPI
 from ..engine.resilience import OptimizeUnavailableError
 from ..engine.tracing import TraceLog
 from ..obs.handle import Observability, base_engine, instrument_engine
-from ..query.instance import SelectivityVector
-from .bounds import BoundingFunction, LINEAR_BOUND
-from .get_plan import CandidateOrder, CheckKind, GetPlan, GetPlanDecision
+from ..query.instance import (
+    AnySelectivityVector,
+    QueryInstance,
+    SelectivityVector,
+    UncertainSelectivityVector,
+    as_point,
+)
+from .bounds import BoundingFunction, LINEAR_BOUND, adversarial_corner, compute_gl
+from .get_plan import (
+    CandidateOrder,
+    CheckKind,
+    CheckMode,
+    GetPlan,
+    GetPlanDecision,
+    certificate_kind,
+)
 from .manage_cache import EvictionPolicy, ManageCache
 from .plan_cache import PlanCache
 from .technique import OnlinePQOTechnique, PlanChoice
@@ -53,6 +66,12 @@ class SCR(OnlinePQOTechnique):
         anchor according to its optimal cost.
     detect_violations:
         Enable the Appendix G violation detector.
+    check_mode:
+        ``"point"`` (the paper's checks), ``"robust"`` (checks at the
+        adversarial corner of the instance's uncertainty box) or
+        ``"probabilistic"`` (robust checks at ``target_coverage``).
+    target_coverage:
+        Coverage certified by the probabilistic mode.
     """
 
     def __init__(
@@ -70,12 +89,21 @@ class SCR(OnlinePQOTechnique):
         spatial_index: bool = False,
         trace: Optional[TraceLog] = None,
         obs: Optional[Observability] = None,
+        check_mode: "CheckMode | str" = CheckMode.POINT,
+        target_coverage: float = 0.95,
     ) -> None:
         super().__init__(engine)
         self.lam = lam
         self.trace = trace
         self.obs = obs
+        self.check_mode = CheckMode.coerce(check_mode)
         self.cache = PlanCache()
+        if spatial_index and self.check_mode is not CheckMode.POINT:
+            raise ValueError(
+                "spatial_index supports only check_mode='point'; the "
+                "grid index prunes by point distance and would skip "
+                "anchors whose adversarial corner still certifies"
+            )
         if spatial_index:
             from .spatial_index import IndexedGetPlan, InstanceGridIndex
 
@@ -99,6 +127,8 @@ class SCR(OnlinePQOTechnique):
                 bound=bound,
                 lambda_for=lambda_for,
                 candidate_order=candidate_order,
+                check_mode=self.check_mode,
+                target_coverage=target_coverage,
             )
         self.manage_cache = ManageCache(
             cache=self.cache,
@@ -116,7 +146,7 @@ class SCR(OnlinePQOTechnique):
     def name(self) -> str:  # type: ignore[override]
         return f"SCR{self.lam:g}"
 
-    def _audit_bound(self, bound: float, lam: float) -> None:
+    def _audit_bound(self, bound: float, lam: float, kind: str = "exact") -> None:
         """Feed one certified bound to the guarantee audit trail.
 
         This is the live λ-violation check: the histogram records the
@@ -124,14 +154,22 @@ class SCR(OnlinePQOTechnique):
         moment it is served instead of waiting for an offline oracle
         pass.  Shared by the serial and concurrent serving paths (both
         funnel through :meth:`_hit_choice` / :meth:`_register_optimized`).
+        ``kind`` labels any flagged violation with the certificate kind
+        whose claim it broke.
         """
         if self.obs is not None:
             self.obs.audit.certified_bound(
                 self.engine.template.name, bound, lam,
-                seq=self.instances_processed,
+                seq=self.instances_processed, kind=kind,
             )
 
-    def _choose(self, sv: SelectivityVector) -> PlanChoice:
+    def _fetch_sv(self, instance: QueryInstance) -> AnySelectivityVector:
+        """Fetch the point sVector, or the uncertain one in robust modes."""
+        if self.check_mode is CheckMode.POINT:
+            return self.engine.selectivity_vector(instance)
+        return self.engine.selectivity_vector_with_error(instance)
+
+    def _choose(self, sv: AnySelectivityVector) -> PlanChoice:
         decision = self.get_plan(sv, self.engine.recost)
         if decision.hit:
             return self._hit_choice(decision)
@@ -165,7 +203,7 @@ class SCR(OnlinePQOTechnique):
             self.get_plan._effective_lambda(decision.anchor)
             if decision.anchor is not None else self.lam
         )
-        self._audit_bound(bound, lam)
+        self._audit_bound(bound, lam, kind=decision.certificate)
         return PlanChoice(
             shrunken_memo=plan.shrunken_memo,
             plan_signature=plan.signature,
@@ -174,10 +212,12 @@ class SCR(OnlinePQOTechnique):
             recost_calls=decision.recost_calls,
             plan=plan.plan,
             certified_bound=bound,
+            certificate=decision.certificate,
+            coverage=decision.coverage,
         )
 
     def _miss_choice(
-        self, sv: SelectivityVector, decision: GetPlanDecision
+        self, sv: AnySelectivityVector, decision: GetPlanDecision
     ) -> PlanChoice:
         try:
             result = self._optimize(sv)
@@ -189,16 +229,17 @@ class SCR(OnlinePQOTechnique):
         return self._register_optimized(sv, result, decision.recost_calls)
 
     def _register_optimized(
-        self, sv: SelectivityVector, result, recost_calls: int
+        self, sv: AnySelectivityVector, result, recost_calls: int
     ) -> PlanChoice:
         """Run manageCache on a fresh optimizer result and build the
         choice.  The concurrent serving layer calls this under the shard
         write lock, with the optimizer call itself made outside it."""
+        point = as_point(sv)
         recosts_before = self.manage_cache.stats.redundancy_recost_calls
         spans = self.obs.spans if self.obs is not None else None
         if spans is not None and spans.enabled:
             start = spans.clock.perf_counter()
-            entry = self.manage_cache.register(sv, result, self.engine.recost)
+            entry = self.manage_cache.register(point, result, self.engine.recost)
             spans.record(
                 "scr.redundancy_check", start,
                 spans.clock.perf_counter() - start,
@@ -206,7 +247,7 @@ class SCR(OnlinePQOTechnique):
                 cached=entry.suboptimality == 1.0,
             )
         else:
-            entry = self.manage_cache.register(sv, result, self.engine.recost)
+            entry = self.manage_cache.register(point, result, self.engine.recost)
         redundancy_recosts = (
             self.manage_cache.stats.redundancy_recost_calls - recosts_before
         )
@@ -217,8 +258,18 @@ class SCR(OnlinePQOTechnique):
             )
         # A freshly optimized instance is served with the bound its
         # 5-tuple registered: 1 for its own (or an identical) plan, the
-        # redundancy winner's S_min otherwise.
-        self._audit_bound(entry.suboptimality, self.lam)
+        # redundancy winner's S_min otherwise.  Under robust checks the
+        # plan is only known optimal *at the point estimate*; the bound
+        # valid over the whole box inflates by the corner's (G·L)^n.
+        bound_value, cert, coverage = self._fresh_certificate(
+            point, sv, entry.suboptimality
+        )
+        # A fresh-optimizer robust bound may legitimately exceed λ (wide
+        # boxes: nothing tighter is certifiable without more statistics);
+        # the response's claim *is* that bound, so the live audit checks
+        # it against max(λ, bound) rather than flagging a violation of a
+        # λ-claim the certificate never made (DESIGN.md §11).
+        self._audit_bound(bound_value, max(self.lam, bound_value), kind=cert)
         return PlanChoice(
             shrunken_memo=chosen.shrunken_memo,
             plan_signature=chosen.signature,
@@ -227,23 +278,53 @@ class SCR(OnlinePQOTechnique):
             recost_calls=recost_calls + redundancy_recosts,
             optimal_cost=result.cost,
             plan=chosen.plan,
-            certified_bound=entry.suboptimality,
+            certified_bound=bound_value,
+            certificate=cert,
+            coverage=coverage,
         )
 
-    def _nearest_entry(self, sv: SelectivityVector):
+    def _fresh_certificate(
+        self,
+        point: SelectivityVector,
+        sv: AnySelectivityVector,
+        suboptimality: float,
+    ) -> tuple[float, str, float]:
+        """Certificate for a freshly optimized instance.
+
+        Point mode: the registered bound, exact.  Robust modes: the plan
+        is optimal at the point estimate ``p``, so for any true vector
+        ``x`` in the box ``SubOpt ≤ S · (G·L)(p→x)^n`` — maximized at
+        the adversarial corner against ``p`` itself.
+        """
+        if (
+            self.check_mode is CheckMode.POINT
+            or not isinstance(sv, UncertainSelectivityVector)
+        ):
+            return suboptimality, "exact", 1.0
+        _, box = self.get_plan._resolve_box(sv, None)
+        cert = certificate_kind(box)
+        if box.is_point:
+            return suboptimality, cert, box.coverage
+        corner = adversarial_corner(point, box)
+        g, l = compute_gl(point, corner)
+        bound_value = suboptimality * self.get_plan.bound.selectivity_bound(g, l)
+        return bound_value, cert, box.coverage
+
+    def _nearest_entry(self, sv: AnySelectivityVector):
         """The cached anchor closest to ``sv`` in log-selectivity space —
         the best available plan when no bound can be verified (optimizer
         down, deadline exhausted, brownout)."""
+        point = as_point(sv)
         best = None
         best_distance = float("inf")
         for entry in self.cache.instances():
-            distance = entry.sv.log_distance(sv)
+            distance = entry.sv.log_distance(point)
             if distance < best_distance:
                 best, best_distance = entry, distance
         return best
 
     def _fallback_choice(
-        self, sv: SelectivityVector, recost_calls: int
+        self, sv: AnySelectivityVector, recost_calls: int
     ) -> Optional[PlanChoice]:
         """Serve the nearest cached plan when the optimizer is down.
 
@@ -278,7 +359,7 @@ class SCR(OnlinePQOTechnique):
         )
 
     def _overload_choice(
-        self, sv: SelectivityVector, recost_calls: int
+        self, sv: AnySelectivityVector, recost_calls: int
     ) -> Optional[PlanChoice]:
         """Serve the nearest cached plan under overload degradation.
 

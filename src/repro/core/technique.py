@@ -16,7 +16,7 @@ from typing import Optional
 from ..engine.api import EngineAPI
 from ..optimizer.plans import PhysicalPlan
 from ..optimizer.recost import ShrunkenMemo
-from ..query.instance import QueryInstance, SelectivityVector
+from ..query.instance import AnySelectivityVector, QueryInstance, as_point
 
 
 @dataclass
@@ -37,6 +37,13 @@ class PlanChoice:
     #: S·R·L, or the entry's registered bound after an optimizer call);
     #: None when no bound was certified.  Feeds the guarantee audit.
     certified_bound: Optional[float] = None
+    #: Certificate kind claimed for this response when ``certified``:
+    #: "exact" (point checks / exactly known selectivities), "robust"
+    #: (holds for every sVector in a hard uncertainty box) or
+    #: "probabilistic" (holds with probability ≥ ``coverage``).
+    certificate: str = "exact"
+    #: Coverage of the uncertainty box the certificate holds over.
+    coverage: float = 1.0
 
 
 class OnlinePQOTechnique(ABC):
@@ -53,7 +60,7 @@ class OnlinePQOTechnique(ABC):
     def process(self, instance: QueryInstance) -> PlanChoice:
         """Handle one arriving query instance."""
         self.engine.begin_instance(self.instances_processed)
-        sv = self.engine.selectivity_vector(instance)
+        sv = self._fetch_sv(instance)
         choice = self._choose(sv)
         if getattr(self.engine, "last_selectivity_degraded", False):
             # The sVector was a stale fallback: every check ran against
@@ -64,8 +71,16 @@ class OnlinePQOTechnique(ABC):
             self.optimizer_calls += 1
         return choice
 
+    def _fetch_sv(self, instance: QueryInstance) -> AnySelectivityVector:
+        """Fetch the instance's selectivity representation.
+
+        Techniques that consume estimation uncertainty (SCR's robust
+        check modes) override this to request the uncertain variant.
+        """
+        return self.engine.selectivity_vector(instance)
+
     @abstractmethod
-    def _choose(self, sv: SelectivityVector) -> PlanChoice:
+    def _choose(self, sv: AnySelectivityVector) -> PlanChoice:
         """Pick a plan for the instance with selectivity vector ``sv``."""
 
     @property
@@ -78,6 +93,10 @@ class OnlinePQOTechnique(ABC):
         """Peak number of plans stored (defaults to the current count)."""
         return self.plans_cached
 
-    def _optimize(self, sv: SelectivityVector):
-        """Make a (counted) optimizer call through the engine."""
-        return self.engine.optimize(sv)
+    def _optimize(self, sv: AnySelectivityVector):
+        """Make a (counted) optimizer call through the engine.
+
+        Always optimizes at the *point* estimate — the optimizer's own
+        cardinality model works from best guesses, not boxes.
+        """
+        return self.engine.optimize(as_point(sv))

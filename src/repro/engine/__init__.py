@@ -9,6 +9,7 @@ from .faults import (
     FaultConfig,
     FaultInjector,
     FaultProfile,
+    NoisyEngine,
     TransientEngineError,
 )
 from .resilience import (
@@ -35,6 +36,7 @@ __all__ = [
     "FaultConfig",
     "FaultInjector",
     "FaultProfile",
+    "NoisyEngine",
     "OptimizeUnavailableError",
     "ResilienceCounters",
     "ResiliencePolicy",

@@ -18,7 +18,11 @@ from typing import Optional
 
 from ..optimizer.optimizer import OptimizationResult, QueryOptimizer
 from ..optimizer.recost import ShrunkenMemo
-from ..query.instance import QueryInstance, SelectivityVector
+from ..query.instance import (
+    QueryInstance,
+    SelectivityVector,
+    UncertainSelectivityVector,
+)
 from ..query.template import QueryTemplate
 from ..selectivity.estimator import SelectivityEstimator
 from .tracing import TraceEventKind, TraceLog
@@ -154,6 +158,25 @@ class EngineAPI:
         if self.instruments is not None:
             self._observe_call("selectivity", start, elapsed)
         return sv
+
+    def selectivity_vector_with_error(
+        self, instance: QueryInstance
+    ) -> UncertainSelectivityVector:
+        """The sVector plus per-dimension confidence bounds.
+
+        Shares the ``selectivity`` API accounting with
+        :meth:`selectivity_vector` — it is the same logical-property
+        computation, just surfacing the estimator's uncertainty.
+        """
+        start = time.perf_counter()
+        usv = self.estimator.selectivity_vector_with_error(
+            self.template, instance
+        )
+        elapsed = time.perf_counter() - start
+        self.counters.selectivity.record(elapsed)
+        if self.instruments is not None:
+            self._observe_call("selectivity", start, elapsed)
+        return usv
 
     def optimize(self, sv: SelectivityVector) -> OptimizationResult:
         """Full optimizer call (the expensive operation PQO avoids)."""

@@ -22,7 +22,12 @@ import random
 
 from ..optimizer.optimizer import OptimizationResult
 from ..optimizer.recost import ShrunkenMemo
-from ..query.instance import QueryInstance, SelectivityVector
+from ..query.instance import (
+    QueryInstance,
+    SelectivityVector,
+    UncertainSelectivityVector,
+    clamp_selectivity,
+)
 from .api import EngineAPI
 
 
@@ -140,6 +145,7 @@ class FaultInjector:
         self.injected: list[InjectedFault] = []
         self._calls = 0
         self._last_sv: Optional[SelectivityVector] = None
+        self._last_usv: Optional[UncertainSelectivityVector] = None
 
     # -- EngineAPI façade ----------------------------------------------------
 
@@ -200,6 +206,31 @@ class FaultInjector:
         self._last_sv = sv
         return sv
 
+    def selectivity_vector_with_error(
+        self, instance: QueryInstance
+    ) -> UncertainSelectivityVector:
+        """Uncertain sVector under the same fault profile as the point
+        variant: transient errors, timeouts, and stale/NaN corruption."""
+        profile = self.config.selectivity
+        self._pre_call("selectivity", profile)
+        usv = self.inner.selectivity_vector_with_error(instance)
+        if self._rng.random() < profile.corrupt_rate:
+            if self._last_usv is not None and self._last_usv.point != usv.point:
+                self._note("selectivity", "corrupt:stale")
+                return self._last_usv
+            self._note("selectivity", "corrupt:nan")
+            # Surfaces as SelectivityVector's validation ValueError.
+            return UncertainSelectivityVector.exact(
+                SelectivityVector.from_sequence([math.nan] * len(usv))
+            )
+        self._last_usv = usv
+        return usv
+
+    def __getattr__(self, name: str):
+        if name == "inner":
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
     def optimize(self, sv: SelectivityVector) -> OptimizationResult:
         self._pre_call("optimize", self.config.optimize)
         return self.inner.optimize(sv)
@@ -217,3 +248,103 @@ class FaultInjector:
                 return -abs(cost)
             return cost * profile.inflate_factor
         return cost
+
+
+class NoisyEngine:
+    """An engine façade whose sVector API returns perturbed selectivities.
+
+    Models histogram estimation error with the standard multiplicative
+    log-noise shape: ``s' = clamp(s * exp(eps))`` with
+    ``eps ~ U(-noise, +noise)`` per dimension, drawn from a seeded RNG
+    so every run is reproducible.  Optimize and recost pass through
+    untouched — the *technique* sees noisy selectivities while an oracle
+    holding the instances' true vectors measures the real damage.
+
+    Composable with the resilience layer exactly like
+    :class:`FaultInjector`::
+
+        ResilientEngineAPI(NoisyEngine(engine, noise=0.3, seed=5))
+
+    The uncertain variant :meth:`selectivity_vector_with_error` is
+    *honest*: its interval always contains the wrapped engine's point
+    estimate, because the noise band ``e^{±noise}`` is known exactly and
+    any interval the inner engine reports rides along (rescaled onto the
+    noisy point).  This is what lets the robust check mode keep the
+    λ-guarantee under noise.
+    """
+
+    def __init__(self, engine: EngineAPI, noise: float, seed: int = 0) -> None:
+        if noise < 0.0:
+            raise ValueError(f"noise must be >= 0, got {noise}")
+        self.inner = engine
+        self.noise = noise
+        self._rng = random.Random(seed)
+
+    # -- EngineAPI façade ----------------------------------------------------
+
+    @property
+    def template(self):
+        return self.inner.template
+
+    @property
+    def counters(self):
+        return self.inner.counters
+
+    @property
+    def trace(self):
+        return self.inner.trace
+
+    def begin_instance(self, index: int) -> None:
+        self.inner.begin_instance(index)
+
+    def reset_counters(self) -> None:
+        self.inner.reset_counters()
+
+    def optimize(self, sv: SelectivityVector) -> OptimizationResult:
+        return self.inner.optimize(sv)
+
+    def recost(self, shrunken: ShrunkenMemo, sv: SelectivityVector) -> float:
+        return self.inner.recost(shrunken, sv)
+
+    def __getattr__(self, name: str):
+        if name == "inner":
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+    # -- the noisy sVector APIs ----------------------------------------------
+
+    def _draw(self, dims: int) -> list[float]:
+        return [self._rng.uniform(-self.noise, self.noise) for _ in range(dims)]
+
+    def selectivity_vector(self, instance: QueryInstance) -> SelectivityVector:
+        sv = self.inner.selectivity_vector(instance)
+        if self.noise <= 0.0:
+            return sv
+        return SelectivityVector.from_sequence(
+            [clamp_selectivity(s * math.exp(e))
+             for s, e in zip(sv, self._draw(len(sv)))]
+        )
+
+    def selectivity_vector_with_error(
+        self, instance: QueryInstance
+    ) -> UncertainSelectivityVector:
+        usv = self.inner.selectivity_vector_with_error(instance)
+        if self.noise <= 0.0:
+            return usv
+        band = math.exp(self.noise)
+        bounds = []
+        for lo, p, hi, e in zip(
+            usv.lo, usv.point, usv.hi, self._draw(len(usv))
+        ):
+            noisy = clamp_selectivity(p * math.exp(e))
+            # The clamp keeps noisy >= floor >= p * e^{-noise} territory:
+            # p = noisy / e^eps lies in [noisy/band, noisy*band], so the
+            # inner interval rescaled onto the noisy point and widened by
+            # the band still contains the truth the inner interval
+            # claimed to contain.
+            n_lo = min(noisy, clamp_selectivity((lo / p) * noisy / band))
+            n_hi = max(noisy, clamp_selectivity((hi / p) * noisy * band))
+            bounds.append((n_lo, noisy, n_hi))
+        return UncertainSelectivityVector.from_bounds(
+            bounds, coverage=usv.coverage
+        )

@@ -40,7 +40,11 @@ from typing import Callable, Optional, TypeVar
 
 from ..optimizer.optimizer import OptimizationResult
 from ..optimizer.recost import ShrunkenMemo
-from ..query.instance import QueryInstance, SelectivityVector
+from ..query.instance import (
+    QueryInstance,
+    SelectivityVector,
+    UncertainSelectivityVector,
+)
 from ..obs.handle import base_engine
 from .api import EngineAPI
 from .faults import EngineFault, EngineTimeoutError
@@ -214,6 +218,7 @@ class ResilientEngineAPI:
             cooldown_calls=self.policy.breaker_cooldown_calls,
         )
         self._last_good_sv: Optional[SelectivityVector] = None
+        self._last_good_usv: Optional[UncertainSelectivityVector] = None
         # Per-call state lives in thread-local storage: under concurrent
         # serving several threads share one engine, and a shared flag or
         # instance index would let thread B's call clobber thread A's
@@ -429,6 +434,62 @@ class ResilientEngineAPI:
             return inflated, True
         self._last_good_sv = sv
         return sv, False
+
+    def selectivity_vector_with_error(
+        self, instance: QueryInstance
+    ) -> UncertainSelectivityVector:
+        """Uncertain sVector with retries; degrades to a *widened* stale box.
+
+        Degraded reads inflate the interval instead of guessing: the
+        last-known-good box is widened by the inflation factor, so the
+        robust checks become strictly more pessimistic instead of
+        trusting a stale point estimate.
+        """
+        return self.selectivity_vector_with_error_ex(instance)[0]
+
+    def selectivity_vector_with_error_ex(
+        self, instance: QueryInstance
+    ) -> tuple[UncertainSelectivityVector, bool]:
+        """Uncertain sVector plus its per-call degradation status.
+
+        Returns ``(usv, degraded)``.  A degraded box is the last-known-good
+        box widened by ``svector_inflation`` (or, when only a point
+        vector was ever seen, a zero-width box around it, widened): the
+        stale interval says nothing about *this* instance's truth, so
+        the caller must still serve the instance uncertified — the
+        widening only keeps the robust checks on the pessimistic side.
+        """
+        self._tls.selectivity_degraded = False
+        try:
+            usv = self._call_with_retries(
+                "selectivity",
+                lambda: self.inner.selectivity_vector_with_error(instance),
+                self.policy.selectivity_deadline,
+            )
+        except FAILURE_TYPES as exc:
+            stale = self._last_good_usv
+            if stale is None and self._last_good_sv is not None:
+                stale = UncertainSelectivityVector.exact(self._last_good_sv)
+            if stale is None:
+                raise SelectivityUnavailableError(
+                    "sVector failed and no last-known-good vector exists"
+                ) from exc
+            widened = stale.widened(self.policy.svector_inflation)
+            self.counters.resilience.selectivity_fallbacks += 1
+            self._count_degraded("selectivity")
+            self._tls.selectivity_degraded = True
+            if self.trace is not None:
+                self.trace.degraded(
+                    "selectivity", self._index,
+                    detail=(
+                        "stale interval widened "
+                        f"x{self.policy.svector_inflation:g}"
+                    ),
+                )
+            return widened, True
+        self._last_good_usv = usv
+        self._last_good_sv = usv.point
+        return usv, False
 
     def optimize(self, sv: SelectivityVector) -> OptimizationResult:
         """Optimize with retries; exhaustion raises

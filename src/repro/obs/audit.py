@@ -32,10 +32,23 @@ VIOLATION_EPSILON = 1e-9
 #: The three outcome labels every served response maps onto.
 OUTCOMES = ("certified", "uncertified", "shed")
 
+#: Certificate kinds a served response may carry, exactly one each:
+#: ``exact`` (point checks / exactly known selectivities), ``robust``
+#: (bound holds for every sVector in a hard uncertainty box),
+#: ``probabilistic`` (holds with probability ≥ the claimed coverage),
+#: ``uncertified`` (degraded: no bound verified) and ``shed``.
+CERT_KINDS = ("exact", "robust", "probabilistic", "uncertified", "shed")
+
 RESPONSES_TOTAL = "repro_responses_total"
 CERTIFIED_BOUND = "repro_certified_bound"
 LAMBDA_VIOLATIONS = "repro_lambda_violations_total"
 DEGRADED_REASONS = "repro_degraded_total"
+CERTIFICATES_TOTAL = "repro_certificates_total"
+INTERVAL_LOG_WIDTH = "repro_interval_log_width"
+
+#: Buckets for per-dimension-summed interval log widths; ``ln(hi/lo)``
+#: sums rarely exceed a few nats even for coarse histograms.
+WIDTH_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
 
 
 class GuaranteeAudit:
@@ -62,12 +75,23 @@ class GuaranteeAudit:
         self._violations = registry.counter(
             LAMBDA_VIOLATIONS,
             "Certified bounds that exceeded the lambda in force (must stay 0)",
-            labels=("template",),
+            labels=("template", "kind"),
         )
         self._degraded = registry.counter(
             DEGRADED_REASONS,
             "Degraded (uncertified/shed) responses by reason code",
             labels=("template", "outcome", "reason"),
+        )
+        self._certificates = registry.counter(
+            CERTIFICATES_TOTAL,
+            "Served responses by certificate kind (exactly one per response)",
+            labels=("template", "kind"),
+        )
+        self._widths = registry.histogram(
+            INTERVAL_LOG_WIDTH,
+            "Total log-width of served instances' selectivity uncertainty boxes",
+            labels=("template",),
+            buckets=WIDTH_BUCKETS,
         )
         self.max_violation_events = max_violation_events
         self._lock = threading.Lock()
@@ -90,6 +114,28 @@ class GuaranteeAudit:
             for outcome in OUTCOMES
         }
 
+    def certificate(self, template: str, kind: str) -> None:
+        """Count one response's certificate kind (exactly one per
+        response; see :data:`CERT_KINDS`)."""
+        if kind not in CERT_KINDS:
+            raise ValueError(f"unknown certificate kind {kind!r}; use {CERT_KINDS}")
+        self._certificates.labels(template=template, kind=kind).inc()
+
+    def certificate_children(self, template: str) -> dict:
+        """Pre-resolved ``{kind: counter child}`` for one template."""
+        return {
+            kind: self._certificates.labels(template=template, kind=kind)
+            for kind in CERT_KINDS
+        }
+
+    def interval_width(self, template: str, log_width: float) -> None:
+        """Record one served instance's uncertainty-box total log width."""
+        self._widths.labels(template=template).observe(log_width)
+
+    def width_child(self, template: str):
+        """Pre-resolved histogram child for :meth:`interval_width`."""
+        return self._widths.labels(template=template)
+
     def degraded(self, template: str, outcome: str, reason: str) -> None:
         """Reason-code accounting for an uncertified or shed response.
         (The outcome counter itself is bumped by :meth:`response` —
@@ -100,18 +146,25 @@ class GuaranteeAudit:
         ).inc()
 
     def certified_bound(
-        self, template: str, bound: float, lam: float, seq: Optional[int] = None
+        self,
+        template: str,
+        bound: float,
+        lam: float,
+        seq: Optional[int] = None,
+        kind: str = "exact",
     ) -> bool:
         """Record one certified bound against the λ in force.
 
         Returns True when the bound violated λ (and was flagged) —
         which, per Theorem 1, never happens unless an implementation
-        bug or a BCG-assumption violation slipped through.
+        bug or a BCG-assumption violation slipped through.  ``kind``
+        labels any flagged violation with the certificate kind whose
+        claim was broken.
         """
         self._bounds.labels(template=template).observe(bound)
         if bound <= lam * (1.0 + VIOLATION_EPSILON):
             return False
-        self._violations.labels(template=template).inc()
+        self._violations.labels(template=template, kind=kind).inc()
         with self._lock:
             if len(self.violation_events) < self.max_violation_events:
                 self.violation_events.append({
@@ -119,6 +172,7 @@ class GuaranteeAudit:
                     "bound": bound,
                     "lambda": lam,
                     "seq": seq,
+                    "kind": kind,
                 })
         return True
 
@@ -135,6 +189,19 @@ class GuaranteeAudit:
                     RESPONSES_TOTAL, template=template, outcome=outcome
                 )
             totals[outcome] = int(value)
+        return totals
+
+    def certificate_totals(self, template: Optional[str] = None) -> dict[str, int]:
+        """``{kind: count}`` across (or for one) template."""
+        totals = {}
+        for kind in CERT_KINDS:
+            if template is None:
+                value = self.registry.total(CERTIFICATES_TOTAL, kind=kind)
+            else:
+                value = self.registry.value(
+                    CERTIFICATES_TOTAL, template=template, kind=kind
+                )
+            totals[kind] = int(value)
         return totals
 
     @property

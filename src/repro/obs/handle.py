@@ -73,6 +73,7 @@ class Observability:
         """One JSON-serializable snapshot: outcomes, violations, spans."""
         return {
             "outcomes": self.audit.outcome_totals(),
+            "certificates": self.audit.certificate_totals(),
             "lambda_violations": self.audit.total_violations,
             "violation_events": list(self.audit.violation_events),
             "spans_recorded": self.spans.total_recorded,

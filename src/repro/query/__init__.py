@@ -7,11 +7,20 @@ from .expressions import (
     JoinEdge,
     ParameterizedPredicate,
 )
-from .instance import QueryInstance, SelectivityVector
+from .instance import (
+    AnySelectivityVector,
+    QueryInstance,
+    SELECTIVITY_FLOOR,
+    SelectivityVector,
+    UncertainSelectivityVector,
+    as_point,
+    clamp_selectivity,
+)
 from .template import AggregationKind, QueryTemplate, join, range_predicate
 
 __all__ = [
     "AggregationKind",
+    "AnySelectivityVector",
     "ColumnRef",
     "ComparisonOp",
     "FixedPredicate",
@@ -19,7 +28,11 @@ __all__ = [
     "ParameterizedPredicate",
     "QueryInstance",
     "QueryTemplate",
+    "SELECTIVITY_FLOOR",
     "SelectivityVector",
+    "UncertainSelectivityVector",
+    "as_point",
+    "clamp_selectivity",
     "join",
     "range_predicate",
 ]

@@ -12,8 +12,14 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..query.expressions import ComparisonOp, FixedPredicate, ParameterizedPredicate
-from ..query.instance import QueryInstance, SelectivityVector
+from ..query.instance import (
+    SELECTIVITY_FLOOR,
+    QueryInstance,
+    SelectivityVector,
+    UncertainSelectivityVector,
+)
 from ..query.template import QueryTemplate
+from .histogram import SelectivityInterval
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..catalog.statistics import DatabaseStatistics
@@ -70,6 +76,58 @@ class SelectivityEstimator:
         ]
         return SelectivityVector.from_sequence(sels)
 
+    def predicate_selectivity_interval(
+        self,
+        pred: ParameterizedPredicate | FixedPredicate,
+        value: float | None = None,
+        sample_z: float = 1.0,
+    ) -> SelectivityInterval:
+        """``(lo, point, hi)`` confidence triple for one predicate.
+
+        The interval combines the histogram's bucket-resolution bounds
+        (hard) with a sample-size term (``sample_z`` standard errors;
+        see :meth:`EquiDepthHistogram.interval_le`).
+        """
+        if isinstance(pred, FixedPredicate):
+            bound = pred.value
+        else:
+            if value is None:
+                raise ValueError("parameterized predicate needs a bound value")
+            bound = value
+        hist = self.stats.column(pred.column.table, pred.column.column).histogram
+        if pred.op is ComparisonOp.LE:
+            return hist.interval_le(bound, sample_z=sample_z)
+        if pred.op is ComparisonOp.GE:
+            return hist.interval_ge(bound, sample_z=sample_z)
+        return hist.interval_eq(bound, sample_z=sample_z)
+
+    def selectivity_vector_with_error(
+        self,
+        template: QueryTemplate,
+        instance: QueryInstance,
+        sample_z: float = 1.0,
+    ) -> UncertainSelectivityVector:
+        """The instance's sVector with per-dimension confidence bounds.
+
+        Synthetic instances that specify selectivities directly (no
+        parameters to estimate from histograms) carry no estimation
+        error and get a zero-width box.
+        """
+        if not instance.parameters:
+            return UncertainSelectivityVector.exact(
+                self.selectivity_vector(template, instance)
+            )
+        if len(instance.parameters) != template.dimensions:
+            raise ValueError(
+                f"instance binds {len(instance.parameters)} parameters but "
+                f"template {template.name} has d={template.dimensions}"
+            )
+        bounds = [
+            self.predicate_selectivity_interval(pred, value, sample_z=sample_z)
+            for pred, value in zip(template.parameterized, instance.parameters)
+        ]
+        return UncertainSelectivityVector.from_bounds(bounds)
+
     def parameters_for_selectivities(
         self, template: QueryTemplate, targets: SelectivityVector
     ) -> tuple[float, ...]:
@@ -112,4 +170,7 @@ class SelectivityEstimator:
             sel *= sv[template.parameter_index(pred)]
         for fixed in template.fixed_on(table):
             sel *= self.predicate_selectivity(fixed)
-        return max(sel, 1e-12)
+        # Product of per-predicate selectivities, each already floored at
+        # SELECTIVITY_FLOOR — the combined floor is the two-predicate
+        # product, not another ad-hoc epsilon.
+        return max(sel, SELECTIVITY_FLOOR ** 2)

@@ -18,9 +18,16 @@ interpolates linearly inside buckets.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
+
+from ..query.instance import SELECTIVITY_FLOOR
+
+#: A ``(lo, point, hi)`` confidence triple for one predicate's
+#: selectivity: the point estimate plus bounds on where the truth lies.
+SelectivityInterval = tuple[float, float, float]
 
 
 @dataclass(frozen=True)
@@ -115,6 +122,79 @@ class EquiDepthHistogram:
         frac = (target_rows - lo_cum) / (hi_cum - lo_cum)
         return float(lo + frac * (hi - lo))
 
+    # -- interval estimates ---------------------------------------------------
+    #
+    # Two error sources are modelled (DESIGN.md §11):
+    #
+    # * **bucket resolution** — inside a bucket the true cumulative count
+    #   is only known to lie between the two boundary counts, so those
+    #   counts are *hard* bounds on ``sel(col <= v)``;
+    # * **sample size** — the boundary counts themselves behave like a
+    #   count estimate with relative standard error ``~1/sqrt(rows)``;
+    #   ``sample_z`` standard errors widen the bucket bounds
+    #   multiplicatively (``0`` disables the term, recovering the hard
+    #   bucket bounds exactly).
+
+    def interval_le(self, value: float, sample_z: float = 1.0) -> SelectivityInterval:
+        """Confidence interval for ``sel(col <= value)``."""
+        point = self.selectivity_le(value)
+        if value < self.boundaries[0]:
+            lo, hi = self._floor(), self._floor()
+        elif value >= self.boundaries[-1]:
+            lo, hi = 1.0, 1.0
+        else:
+            idx = int(np.searchsorted(self.boundaries, value, side="right")) - 1
+            lo = max(self._floor(), float(self.cum[idx]) / self.total)
+            hi = min(1.0, float(self.cum[idx + 1]) / self.total)
+        return self._finish_interval(lo, point, hi, sample_z)
+
+    def interval_ge(self, value: float, sample_z: float = 1.0) -> SelectivityInterval:
+        """Confidence interval for ``sel(col >= value)``.
+
+        The complement of the ``<=`` bounds, with the (uniform-in-bucket
+        estimated) point mass at ``value`` bounded above by the whole
+        containing region's mass.
+        """
+        point = self.selectivity_ge(value)
+        lo_le, _, hi_le = self.interval_le(value, sample_z=0.0)
+        lo = max(self._floor(), 1.0 - hi_le)
+        hi = min(1.0, 1.0 - lo_le + self._region_mass(value))
+        return self._finish_interval(lo, point, hi, sample_z)
+
+    def interval_eq(self, value: float, sample_z: float = 1.0) -> SelectivityInterval:
+        """Confidence interval for ``sel(col == value)``.
+
+        Uniform-in-bucket gives the point; the truth can be anywhere
+        between (almost) nothing and the containing region's whole mass.
+        """
+        point = self.selectivity_eq(value)
+        lo = self._floor()
+        hi = max(lo, self._region_mass(value))
+        return self._finish_interval(lo, point, hi, sample_z)
+
+    def _finish_interval(
+        self, lo: float, point: float, hi: float, sample_z: float
+    ) -> SelectivityInterval:
+        """Apply the sample-size widening and restore the invariant."""
+        if sample_z > 0.0:
+            # Relative standard error of a count of ~point*total rows.
+            err = sample_z / math.sqrt(max(1.0, point * self.total))
+            widen = math.exp(err)
+            lo = max(self._floor(), lo / widen)
+            hi = min(1.0, hi * widen)
+        return min(lo, point), point, max(hi, point)
+
+    def _region_mass(self, value: float) -> float:
+        """Total row fraction of the region containing ``value`` — an
+        upper bound on the point mass at ``value``."""
+        if value < self.boundaries[0] or value > self.boundaries[-1]:
+            return 0.0
+        if value == self.boundaries[0]:
+            return float(self.cum[0]) / self.total
+        idx = int(np.searchsorted(self.boundaries, value, side="left")) - 1
+        idx = max(0, min(idx, len(self.boundaries) - 2))
+        return float(self.cum[idx + 1] - self.cum[idx]) / self.total
+
     def _point_mass(self, value: float) -> float:
         """Estimated fraction of rows exactly equal to ``value``."""
         if value < self.boundaries[0] or value > self.boundaries[-1]:
@@ -129,4 +209,4 @@ class EquiDepthHistogram:
 
     def _floor(self) -> float:
         """Smallest selectivity this histogram will ever report."""
-        return min(1.0, max(1e-6, 0.5 / self.total))
+        return min(1.0, max(SELECTIVITY_FLOOR, 0.5 / self.total))

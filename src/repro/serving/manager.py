@@ -38,7 +38,13 @@ from ..engine.tracing import TraceLog
 from ..obs.handle import Observability, instrument_engine
 from ..query.instance import QueryInstance
 from ..query.template import QueryTemplate
-from .overload import Deadline, OverloadCoordinator, OverloadPolicy, ShutdownError
+from .overload import (
+    BrownoutLevel,
+    Deadline,
+    OverloadCoordinator,
+    OverloadPolicy,
+    ShutdownError,
+)
 from .shard import TemplateShard
 from .stats import ServingStats, merge_rows
 
@@ -64,6 +70,13 @@ class ConcurrentPQOManager(PQOManager):
     max_workers: int = 8
     trace: Optional[TraceLog] = None
     overload: Optional[OverloadPolicy] = None
+    #: Manager-wide default check mode for registered templates
+    #: (``"point"`` / ``"robust"`` / ``"probabilistic"``); a per-template
+    #: ``check_mode=`` kwarg on :meth:`register` overrides it.  ``None``
+    #: leaves SCR's own default (point) in force.
+    check_mode: Optional[str] = None
+    #: Manager-wide default coverage for probabilistic-mode templates.
+    target_coverage: Optional[float] = None
     #: Optional unified observability handle (metrics registry, spans,
     #: guarantee audit).  When set, every registered template's engine,
     #: SCR pipeline and shard report into it, and the overload
@@ -117,6 +130,10 @@ class ConcurrentPQOManager(PQOManager):
         **scr_kwargs,
     ) -> TemplateState:
         with self._registry_lock:
+            if self.check_mode is not None:
+                scr_kwargs.setdefault("check_mode", self.check_mode)
+            if self.target_coverage is not None:
+                scr_kwargs.setdefault("target_coverage", self.target_coverage)
             state = self._build_state(template, lam, **scr_kwargs)
             # Racy double-misses on one vector must not grow the instance
             # list without bound (see ManageCache.coalesce_identical).
@@ -156,6 +173,7 @@ class ConcurrentPQOManager(PQOManager):
             level_provider=self._overload_coordinator.level_value,
             relax_factor=self.overload.lambda_relax_factor,
             ceiling=self.overload.lambda_ceiling,
+            relax_at_level=int(BrownoutLevel.LAMBDA_RELAXED),
         )
 
     def shard(self, template_name: str) -> TemplateShard:

@@ -20,12 +20,15 @@ and observably* instead of letting queues collapse:
   bucket dedicated to optimizer calls (:class:`OptimizerGate`); gate
   wait time is a first-class pressure signal.
 * **Brownout controller** — a hysteresis state machine
-  (``normal → λ-relaxed → uncertified-serve → shed``) driven by queue
-  depth, optimizer-gate wait and deadline-miss rate.  Each level
-  degrades along the *guarantee* axis: first λ is widened through the
-  pressure hook in :mod:`repro.core.dynamic_lambda`, then misses are
-  served from cache explicitly ``certified=False``, and only when no
-  cached plan exists is a request shed (:class:`ShedError`).
+  (``normal → coverage-relaxed → λ-relaxed → uncertified-serve →
+  shed``) driven by queue depth, optimizer-gate wait and deadline-miss
+  rate.  Each level degrades along the *guarantee* axis: first
+  robust-mode shards lower the coverage their uncertainty boxes demand
+  (certificates honestly downgrade robust → probabilistic), then λ is
+  widened through the pressure hook in
+  :mod:`repro.core.dynamic_lambda`, then misses are served from cache
+  explicitly ``certified=False``, and only when no cached plan exists
+  is a request shed (:class:`ShedError`).
 
 Every shed / uncertified decision and every brownout transition is
 counted in :class:`~repro.serving.stats.ServingStats` and traced as an
@@ -214,12 +217,21 @@ class OptimizerGate:
 
 
 class BrownoutLevel(IntEnum):
-    """Degradation levels, ordered by how much guarantee is given up."""
+    """Degradation levels, ordered by how much guarantee is given up.
 
-    NORMAL = 0          # full SCR pipeline, base λ
-    LAMBDA_RELAXED = 1  # λ widened via the pressure hook; still certified
-    UNCERTIFIED = 2     # misses served from cache uncertified, no optimize
-    SHED = 3            # selectivity-only probe; shed when cache is empty
+    The first step degrades along the *uncertainty* axis: shards running
+    a robust check mode lower the coverage their probes demand
+    (``brownout_coverage``), trading certificate strength (robust →
+    probabilistic) for cache hits before λ itself is touched.  Point-mode
+    shards pass through COVERAGE_RELAXED unchanged — for them the ladder
+    behaves exactly as before, one level later.
+    """
+
+    NORMAL = 0            # full SCR pipeline, base λ, full coverage
+    COVERAGE_RELAXED = 1  # robust shards probe at reduced coverage
+    LAMBDA_RELAXED = 2    # λ widened via the pressure hook; still certified
+    UNCERTIFIED = 3       # misses served from cache uncertified, no optimize
+    SHED = 4              # selectivity-only probe; shed when cache is empty
 
 
 @dataclass(frozen=True)
@@ -263,6 +275,10 @@ class OverloadPolicy:
     #: ceiling the relaxed λ never exceeds (None = uncapped).
     lambda_relax_factor: float = 1.5
     lambda_ceiling: Optional[float] = None
+    #: Coverage robust-mode probes demand at COVERAGE_RELAXED and above
+    #: (shrinks the uncertainty box → more hits, honestly downgraded to
+    #: probabilistic certificates; λ itself stays untouched).
+    brownout_coverage: float = 0.8
 
     def __post_init__(self) -> None:
         if self.queue_limit < 1:
@@ -273,6 +289,8 @@ class OverloadPolicy:
             raise ValueError("lambda_relax_factor must be >= 1")
         if not (0.0 <= self.queue_low <= self.queue_high):
             raise ValueError("queue thresholds must satisfy 0 <= low <= high")
+        if not (0.0 < self.brownout_coverage <= 1.0):
+            raise ValueError("brownout_coverage must be in (0, 1]")
 
 
 @dataclass(frozen=True)
@@ -340,7 +358,7 @@ class BrownoutController:
         """Mirror the brownout level and transitions into the registry."""
         self._m_level = obs.registry.gauge(
             BROWNOUT_LEVEL,
-            "Current brownout level (0=normal ... 3=shed)",
+            "Current brownout level (0=normal ... 4=shed)",
         ).labels()
         self._m_transitions = obs.registry.counter(
             BROWNOUT_TRANSITIONS_TOTAL,

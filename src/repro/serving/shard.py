@@ -32,7 +32,7 @@ import threading
 from contextlib import nullcontext
 from typing import Optional
 
-from ..core.get_plan import CheckKind
+from ..core.get_plan import CheckKind, CheckMode
 from ..core.manager import TemplateState
 from ..core.scr import SCR
 from ..core.technique import PlanChoice
@@ -41,7 +41,13 @@ from ..engine.tracing import TraceLog
 from ..obs.clock import SYSTEM_CLOCK
 from ..obs.handle import Observability
 from ..optimizer.recost import ShrunkenMemo
-from ..query.instance import QueryInstance, SelectivityVector
+from ..query.instance import (
+    AnySelectivityVector,
+    QueryInstance,
+    SelectivityVector,
+    UncertainSelectivityVector,
+    as_point,
+)
 from .overload import BrownoutLevel, Deadline, OverloadCoordinator, ShedError
 from .stats import ServingStats
 
@@ -65,6 +71,9 @@ class TemplateShard:
         self.state = state
         self.scr: SCR = state.scr
         self.engine = state.engine
+        # Robust/probabilistic shards probe with an uncertainty box; the
+        # flag gates the usv fetch path and the brownout coverage step.
+        self.robust = state.scr.check_mode is not CheckMode.POINT
         self.trace = trace
         self.flight_timeout_seconds = flight_timeout_seconds
         self.lock = threading.RLock()
@@ -155,11 +164,14 @@ class TemplateShard:
         start: float,
     ) -> PlanChoice:
         sv, degraded = self._selectivity_vector(instance)
+        if self.robust and isinstance(sv, UncertainSelectivityVector):
+            self.stats.note_interval_width(sv.total_log_width)
+        coverage = self._brownout_coverage()
         now = self._now()
         if overflow_reason is not None:
             choice = self._serve(
                 sv, depth=0, deadline=deadline, max_recost=0,
-                deny=overflow_reason,
+                deny=overflow_reason, coverage=coverage,
             )
         elif deadline is not None and deadline.expired(now):
             # The budget died in queue: skip the probe entirely and
@@ -180,28 +192,62 @@ class TemplateShard:
                 # let the probe's recosts count as engine faults.
                 max_recost = 0
             choice = self._serve(
-                sv, depth=0, deadline=deadline, max_recost=max_recost
+                sv, depth=0, deadline=deadline, max_recost=max_recost,
+                coverage=coverage,
             )
         if degraded:
             # The sVector was a stale fallback: every check ran against
             # approximate selectivities, so no bound is certified.
             choice.certified = False
         self.stats.observe(
-            self.clock.perf_counter() - start, choice.check, choice.certified
+            self.clock.perf_counter() - start, choice.check, choice.certified,
+            certificate=choice.certificate,
         )
         return choice
 
+    def _brownout_coverage(self) -> Optional[float]:
+        """COVERAGE_RELAXED step: robust shards tolerate more estimation
+        risk under pressure by probing a box shrunk to the brownout
+        coverage — more hits, certificates honestly downgraded to
+        ``probabilistic``.  Point-mode shards have no box to shrink."""
+        ov = self._overload
+        if (
+            self.robust
+            and ov is not None
+            and ov.level >= BrownoutLevel.COVERAGE_RELAXED
+        ):
+            return ov.policy.brownout_coverage
+        return None
+
     def _selectivity_vector(
         self, instance: QueryInstance
-    ) -> tuple[SelectivityVector, bool]:
+    ) -> tuple[AnySelectivityVector, bool]:
         """sVector plus per-call degradation status.
 
-        The resilient engine's ``selectivity_vector_ex`` returns the
-        status with the vector; a shared ``last_selectivity_degraded``
-        flag must not be read here, since another thread's call could
-        reset it between our call and the read, silently certifying an
-        instance served from a degraded (stale, uncertified) vector.
+        Robust/probabilistic shards fetch the uncertainty box
+        (``selectivity_vector_with_error``); point-mode shards the plain
+        vector.  Either way the resilient engine's ``*_ex`` variant
+        returns the status with the vector; a shared
+        ``last_selectivity_degraded`` flag must not be read here, since
+        another thread's call could reset it between our call and the
+        read, silently certifying an instance served from a degraded
+        (stale, uncertified) vector.
         """
+        if self.robust:
+            ex = getattr(
+                self.engine, "selectivity_vector_with_error_ex", None
+            )
+            if ex is not None:
+                return ex(instance)
+            with_error = getattr(
+                self.engine, "selectivity_vector_with_error", None
+            )
+            if with_error is not None:
+                return with_error(instance), bool(
+                    getattr(self.engine, "last_selectivity_degraded", False)
+                )
+            # Engine stack predates the error model: probe with a
+            # zero-width box (SCR treats a plain vector as exact).
         ex = getattr(self.engine, "selectivity_vector_ex", None)
         if ex is not None:
             return ex(instance)
@@ -233,23 +279,28 @@ class TemplateShard:
 
     def _serve(
         self,
-        sv: SelectivityVector,
+        sv: AnySelectivityVector,
         depth: int,
         deadline: Optional[Deadline] = None,
         max_recost: Optional[int] = None,
         deny: Optional[str] = None,
+        coverage: Optional[float] = None,
     ) -> PlanChoice:
         if depth >= MAX_OPTIMISTIC_RETRIES:
             return self._serve_locked(
-                sv, deadline=deadline, max_recost=max_recost, deny=deny
+                sv, deadline=deadline, max_recost=max_recost, deny=deny,
+                coverage=coverage,
             )
         scr = self.scr
         snapshot = scr.cache.snapshot()
         decision = scr.get_plan.probe(
-            sv, self._recost, entries=snapshot.entries, max_recost=max_recost
+            sv, self._recost, entries=snapshot.entries, max_recost=max_recost,
+            coverage=coverage,
         )
         if not decision.hit:
-            return self._miss(sv, decision, depth, deadline, max_recost, deny)
+            return self._miss(
+                sv, decision, depth, deadline, max_recost, deny, coverage
+            )
         acquired_at = self.clock.perf_counter()
         with self.lock:
             self.stats.add_lock_wait(self.clock.perf_counter() - acquired_at)
@@ -262,7 +313,8 @@ class TemplateShard:
         if self.trace is not None:
             self.trace.serving("epoch_retry", scr.instances_processed)
         return self._serve(
-            sv, depth + 1, deadline=deadline, max_recost=max_recost, deny=deny
+            sv, depth + 1, deadline=deadline, max_recost=max_recost, deny=deny,
+            coverage=coverage,
         )
 
     def _commit_valid(self, decision, snapshot) -> bool:
@@ -287,10 +339,11 @@ class TemplateShard:
 
     def _serve_locked(
         self,
-        sv: SelectivityVector,
+        sv: AnySelectivityVector,
         deadline: Optional[Deadline] = None,
         max_recost: Optional[int] = None,
         deny: Optional[str] = None,
+        coverage: Optional[float] = None,
     ) -> PlanChoice:
         """Fully serial fallback: the whole getPlan/manageCache cycle
         under the write lock (identical to serial SCR semantics).
@@ -307,11 +360,12 @@ class TemplateShard:
                 and deadline is None
                 and max_recost is None
                 and deny is None
+                and coverage is None
             ):
                 return self._finish_locked(self.scr._choose(sv))
             scr = self.scr
             decision = scr.get_plan.probe(
-                sv, self._recost, max_recost=max_recost
+                sv, self._recost, max_recost=max_recost, coverage=coverage
             )
             scr.get_plan.commit(decision)
             if decision.hit:
@@ -338,14 +392,18 @@ class TemplateShard:
 
     def _miss(
         self,
-        sv: SelectivityVector,
+        sv: AnySelectivityVector,
         decision,
         depth: int,
         deadline: Optional[Deadline] = None,
         max_recost: Optional[int] = None,
         deny: Optional[str] = None,
+        coverage: Optional[float] = None,
     ) -> PlanChoice:
-        key = sv.values
+        # Keyed on the point estimate: the optimizer runs at the point,
+        # so two robust misses with the same point (however wide their
+        # boxes) want the same plan registered.
+        key = as_point(sv).values
         with self._flight_lock:
             flight = self._inflight.get(key)
             leader = flight is None
@@ -368,7 +426,7 @@ class TemplateShard:
             flight.wait(timeout=timeout)
             return self._serve(
                 sv, depth + 1, deadline=deadline, max_recost=max_recost,
-                deny=deny,
+                deny=deny, coverage=coverage,
             )
         try:
             reason, holds_gate = self._admission(deadline, deny)
@@ -404,7 +462,9 @@ class TemplateShard:
             self.stats.note_gate_timeout()
         return reason, holds_gate
 
-    def _optimize_and_register(self, sv: SelectivityVector, decision) -> PlanChoice:
+    def _optimize_and_register(
+        self, sv: AnySelectivityVector, decision
+    ) -> PlanChoice:
         scr = self.scr
         try:
             with self.stats.engine_calls.track():
@@ -430,14 +490,16 @@ class TemplateShard:
 
     # -- degraded path --------------------------------------------------------
 
-    def _degrade_entry(self, sv: SelectivityVector, reason: str) -> PlanChoice:
+    def _degrade_entry(self, sv: AnySelectivityVector, reason: str) -> PlanChoice:
         """Resolve an instance whose budget expired before any probe ran."""
         acquired_at = self.clock.perf_counter()
         with self.lock:
             self.stats.add_lock_wait(self.clock.perf_counter() - acquired_at)
             return self._commit_degraded(sv, 0, reason)
 
-    def _degrade_miss(self, sv: SelectivityVector, decision, reason: str) -> PlanChoice:
+    def _degrade_miss(
+        self, sv: AnySelectivityVector, decision, reason: str
+    ) -> PlanChoice:
         """Resolve a denied miss: book it, then serve degraded."""
         acquired_at = self.clock.perf_counter()
         with self.lock:
@@ -446,7 +508,7 @@ class TemplateShard:
             return self._commit_degraded(sv, decision.recost_calls, reason)
 
     def _commit_degraded(
-        self, sv: SelectivityVector, recost_calls: int, reason: str
+        self, sv: AnySelectivityVector, recost_calls: int, reason: str
     ) -> PlanChoice:
         """Nearest cached plan uncertified, or shed; caller holds the lock.
 

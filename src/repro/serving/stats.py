@@ -61,6 +61,7 @@ class ServingStats:
     template: str = ""
     processed: int = 0
     check_counts: dict[str, int] = field(default_factory=dict)
+    certificate_counts: dict[str, int] = field(default_factory=dict)
     latencies_s: list[float] = field(default_factory=list)
     lock_wait_seconds: float = 0.0
     epoch_retries: int = 0
@@ -94,6 +95,8 @@ class ServingStats:
         registry = obs.registry
         self._obs = obs
         self._m_outcome = obs.audit.outcome_children(self.template)
+        self._m_cert = obs.audit.certificate_children(self.template)
+        self._m_width = obs.audit.width_child(self.template)
         self._m_check_children = {}
         self._m_latency = registry.histogram(
             SERVING_LATENCY_SECONDS,
@@ -126,23 +129,38 @@ class ServingStats:
             labels=("template",),
         ).labels(template=self.template)
 
-    def observe(self, latency_seconds: float, check: str, certified: bool) -> None:
+    def observe(
+        self,
+        latency_seconds: float,
+        check: str,
+        certified: bool,
+        certificate: str = "exact",
+    ) -> None:
         """Record one served instance.
 
         This is the single accounting point for every *served* response
         (shed requests go through :meth:`note_shed` instead), so with an
         observability handle attached it is also where the response's
-        one outcome counter — certified or uncertified — is incremented.
+        one outcome counter — certified or uncertified — and its one
+        certificate-kind counter are incremented.  ``certificate`` is
+        the kind the choice claims; an uncertified response counts as
+        kind ``uncertified`` regardless of it (a degraded path may have
+        invalidated the claim after the checks ran).
         """
+        kind = certificate if certified else "uncertified"
         with self._lock:
             self.processed += 1
             self.latencies_s.append(latency_seconds)
             self.check_counts[check] = self.check_counts.get(check, 0) + 1
             if not certified:
                 self.uncertified += 1
+            self.certificate_counts[kind] = (
+                self.certificate_counts.get(kind, 0) + 1
+            )
             self._last_at = time.perf_counter()
         if self._obs is not None:
             self._m_outcome["certified" if certified else "uncertified"].inc()
+            self._m_cert[kind].inc()
             self._m_latency.observe(latency_seconds)
             # Benign race: a duplicate labels() resolves the same child.
             check_child = self._m_check_children.get(check)
@@ -202,13 +220,23 @@ class ServingStats:
 
     def note_shed(self, reason: str = "unknown") -> None:
         """Record one refused request — the response's single outcome
-        counter for the shed path."""
+        counter (and certificate kind) for the shed path."""
         with self._lock:
             self.shed += 1
+            self.certificate_counts["shed"] = (
+                self.certificate_counts.get("shed", 0) + 1
+            )
         obs = self._obs
         if obs is not None:
             self._m_outcome["shed"].inc()
+            self._m_cert["shed"].inc()
             obs.audit.degraded(self.template, "shed", reason)
+
+    def note_interval_width(self, log_width: float) -> None:
+        """Record one served instance's uncertainty-box total log width
+        (robust-mode shards only; point-mode shards never call this)."""
+        if self._obs is not None:
+            self._m_width.observe(log_width)
 
     def note_overload_serve(self, reason: str = "brownout") -> None:
         # Reason accounting only: the outcome counter for an overload

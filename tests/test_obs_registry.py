@@ -282,7 +282,8 @@ class TestGuaranteeAudit:
         assert audit.total_violations == 1
         assert not audit.zero_violations
         assert audit.violation_events == [
-            {"template": "t1", "bound": 2.3, "lambda": 2.0, "seq": 7}
+            {"template": "t1", "bound": 2.3, "lambda": 2.0, "seq": 7,
+             "kind": "exact"}
         ]
 
     def test_violation_event_log_is_bounded(self):

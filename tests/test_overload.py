@@ -167,9 +167,10 @@ class TestBrownoutController:
         # One level per 2 hot ticks, saturating at SHED.
         assert levels == [
             BrownoutLevel.NORMAL, BrownoutLevel.NORMAL,
+            BrownoutLevel.COVERAGE_RELAXED, BrownoutLevel.COVERAGE_RELAXED,
             BrownoutLevel.LAMBDA_RELAXED, BrownoutLevel.LAMBDA_RELAXED,
             BrownoutLevel.UNCERTIFIED, BrownoutLevel.UNCERTIFIED,
-            BrownoutLevel.SHED, BrownoutLevel.SHED, BrownoutLevel.SHED,
+            BrownoutLevel.SHED,
         ]
         for t in ctl.transitions:
             assert t.current == t.previous + 1  # never skips a level
@@ -177,25 +178,25 @@ class TestBrownoutController:
 
     def test_recovers_one_level_per_calm_window(self):
         ctl = BrownoutController(self.POLICY)
-        for _ in range(6):
+        for _ in range(8):
             ctl.evaluate(hot())
         assert ctl.level is BrownoutLevel.SHED
-        for _ in range(9):  # 3 windows of recover_ticks=3 calm ticks
+        for _ in range(12):  # 4 windows of recover_ticks=3 calm ticks
             ctl.evaluate(calm())
         assert ctl.level is BrownoutLevel.NORMAL
         downs = [t for t in ctl.transitions if t.current < t.previous]
-        assert len(downs) == 3
+        assert len(downs) == 4
         assert all(t.reason == "recover:calm" for t in downs)
 
     def test_dead_band_holds_level_without_flapping(self):
         ctl = BrownoutController(self.POLICY)
         for _ in range(4):
             ctl.evaluate(hot())
-        assert ctl.level is BrownoutLevel.UNCERTIFIED
+        assert ctl.level is BrownoutLevel.LAMBDA_RELAXED
         before = len(ctl.transitions)
         for _ in range(50):
             ctl.evaluate(dead_band(self.POLICY))
-        assert ctl.level is BrownoutLevel.UNCERTIFIED
+        assert ctl.level is BrownoutLevel.LAMBDA_RELAXED
         assert len(ctl.transitions) == before
 
     def test_alternating_signals_cannot_flap(self):
@@ -214,7 +215,9 @@ class TestBrownoutController:
         events = list(trace.of_kind(TraceEventKind.OVERLOAD))
         assert len(events) == 1
         assert events[0].check == "brownout"
-        assert events[0].detail == "normal->lambda_relaxed:escalate:deadline_miss"
+        assert events[0].detail == (
+            "normal->coverage_relaxed:escalate:deadline_miss"
+        )
 
     def test_pressure_driver_names_the_loudest_signal(self):
         signals = OverloadSignals(
@@ -230,17 +233,17 @@ class TestBrownoutController:
             evaluate_every=1, escalate_ticks=2, recover_ticks=3
         )
         ov = OverloadCoordinator(policy)
-        for _ in range(6):
+        for _ in range(8):
             ov.note_completed(deadline_missed=True)
         assert ov.level is BrownoutLevel.SHED
-        for _ in range(9):
+        for _ in range(12):
             ov.note_completed(deadline_missed=False)
         assert ov.level is BrownoutLevel.NORMAL
         steps = [(t.previous, t.current) for t in ov.controller.transitions]
         assert all(abs(b - a) == 1 for a, b in steps)  # one level per move
         report = ov.report()
         assert report["brownout"] == "normal"
-        assert report["transitions"] == 6
+        assert report["transitions"] == 8
 
     def test_idle_gate_wait_signal_cannot_latch_brownout(self):
         """Once the level stops consulting the gate, the stale wait EMA
@@ -249,7 +252,7 @@ class TestBrownoutController:
             evaluate_every=1, escalate_ticks=1, recover_ticks=1
         )
         ov = OverloadCoordinator(policy)
-        for _ in range(3):
+        for _ in range(4):
             assert ov.gate.acquire(timeout=0.0)
             ov.gate.release()
             ov.gate.wait_ema_seconds = 1.0  # pretend the waits were long
@@ -257,7 +260,7 @@ class TestBrownoutController:
         assert ov.level is BrownoutLevel.SHED
         # The gate is now idle (SHED makes no admission attempts): the
         # frozen EMA must not keep reading hot.
-        for _ in range(3):
+        for _ in range(4):
             ov.note_completed(deadline_missed=False)
         assert ov.level is BrownoutLevel.NORMAL
         assert ov.gate.wait_ema_seconds == 0.0
