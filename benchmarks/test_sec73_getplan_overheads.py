@@ -4,11 +4,39 @@ Paper (TPC-DS Q18, 4000 instances, λ=1.1): a naive getPlan would
 recost up to 162 stored plans; the GL-pruning heuristic cuts that to 8
 recost calls, and λ_r=√λ to at most 3 while retaining only 5 plans —
 getPlan overheads stay far below an optimizer call.
+
+This module also hosts the columnar hot-path micro-benchmark: the
+single-thread probe throughput of ``check_impl="vectorized"`` against
+the scalar reference over synthetic caches (m stored instances ×
+d dimensions), gated at ≥5× for m ≥ 256, with the measured trajectory
+appended to ``BENCH_getplan_hotpath.json`` at the repo root.
 """
 
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
 from conftest import run_once
+from repro.core.get_plan import GetPlan
+from repro.core.plan_cache import CachedPlan, InstanceEntry, PlanCache
 from repro.harness.reporting import format_table
+from repro.query.instance import SelectivityVector
 from repro.workload.templates import tpcds_templates
+
+BENCH_JSON = Path(__file__).parents[1] / "BENCH_getplan_hotpath.json"
+BENCH_SCHEMA = 1
+MAX_TRAJECTORY_RUNS = 20  # keep the checked-in trajectory bounded
+
+CACHE_SIZES = (64, 256, 1024)
+DIMENSIONS = (2, 6, 10)
+PROBES = 300
+GATE_M = 256          # the ISSUE gate: ≥5× at ≥256 cached instances
+GATE_SPEEDUP = 5.0
+GATE_SPEEDUP_HIGH_D = 4.0  # d=10 carries 5× the (B, N, d) temp traffic
 
 
 def test_sec73_getplan_overheads(experiments, benchmark):
@@ -29,3 +57,160 @@ def test_sec73_getplan_overheads(experiments, benchmark):
     # Quality is not sacrificed along the way.
     for row in rows:
         assert row["tc"] < 1.2
+
+
+# -- columnar hot-path micro-benchmark ---------------------------------------
+
+
+class _StubMemo:
+    """Duck-typed ShrunkenMemo: probes never optimize, so a node count
+    is all the cache bookkeeping ever reads."""
+
+    node_count = 1
+
+
+def _loguniform_sv(rng: random.Random, d: int) -> SelectivityVector:
+    return SelectivityVector.from_sequence(
+        [10 ** rng.uniform(-4, 0) for _ in range(d)]
+    )
+
+
+def _synthetic_cache(m: int, d: int, seed: int) -> PlanCache:
+    """A cache of m stored instances behind one plan — the selectivity
+    scan's cost does not depend on plan multiplicity."""
+    cache = PlanCache()
+    plan = CachedPlan(
+        plan_id=0, signature="p0", plan=None, shrunken_memo=_StubMemo()
+    )
+    cache._plans[0] = plan
+    cache._by_signature["p0"] = 0
+    cache._next_plan_id = 1
+    cache._mutated()
+    rng = random.Random(seed)
+    for i in range(m):
+        cache.add_instance(
+            InstanceEntry(
+                sv=_loguniform_sv(rng, d),
+                plan_id=0,
+                optimal_cost=100.0 + i,
+                suboptimality=1.0,
+            )
+        )
+    return cache
+
+
+def _never_recost(memo, point):  # max_recost=0 keeps the scan pure
+    raise AssertionError("the hot-path benchmark must not recost")
+
+
+def _probe_throughput(get_plan: GetPlan, points, batched: bool) -> float:
+    """Probes per second over one warmed, timed pass.
+
+    ``lam`` just above 1 makes every probe a full miss-scan — the
+    worst case the columnar rewrite targets — and ``max_recost=0``
+    confines the measurement to the selectivity phase.
+    """
+    if batched:
+        get_plan.probe_batch(points[:30], _never_recost, max_recost=0)
+        start = time.perf_counter()
+        get_plan.probe_batch(points, _never_recost, max_recost=0)
+    else:
+        for point in points[:30]:
+            get_plan.probe(point, _never_recost, max_recost=0)
+        start = time.perf_counter()
+        for point in points:
+            get_plan.probe(point, _never_recost, max_recost=0)
+    return len(points) / (time.perf_counter() - start)
+
+
+def _measure_hotpath() -> list[dict]:
+    results = []
+    for m in CACHE_SIZES:
+        for d in DIMENSIONS:
+            cache = _synthetic_cache(m, d, seed=5)
+            rng = random.Random(99)
+            points = [_loguniform_sv(rng, d) for _ in range(PROBES)]
+            row = {"m": m, "d": d}
+            for impl in ("scalar", "vectorized"):
+                gp = GetPlan(cache=cache, lam=1.0001, check_impl=impl)
+                row[f"{impl}_probes_per_s"] = round(
+                    _probe_throughput(gp, points, batched=False), 1
+                )
+            gp = GetPlan(cache=cache, lam=1.0001, check_impl="vectorized")
+            row["batch_probes_per_s"] = round(
+                _probe_throughput(gp, points, batched=True), 1
+            )
+            row["speedup"] = round(
+                row["vectorized_probes_per_s"] / row["scalar_probes_per_s"], 2
+            )
+            results.append(row)
+    return results
+
+
+def _append_trajectory(results: list[dict]) -> None:
+    """Append this run to the checked-in perf trajectory (schema v1)."""
+    doc = {"schema": BENCH_SCHEMA, "runs": []}
+    if BENCH_JSON.exists():
+        loaded = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        if loaded.get("schema") == BENCH_SCHEMA:
+            doc = loaded
+    doc["runs"].append(
+        {
+            "timestamp": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            "probes": PROBES,
+            "results": results,
+        }
+    )
+    doc["runs"] = doc["runs"][-MAX_TRAJECTORY_RUNS:]
+    BENCH_JSON.write_text(
+        json.dumps(doc, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def test_getplan_hotpath_vectorized_speedup():
+    """Gate: the columnar selectivity phase must beat the scalar scan
+    ≥5× single-threaded once ≥256 instances are cached (≥4× at d=10,
+    where the (B, N, d) intermediate dominates).  Set
+    ``BENCH_GETPLAN_JSON=1`` to also append the run to the trajectory
+    file (CI does; local runs stay read-only by default).
+    """
+    results = _measure_hotpath()
+    print()
+    print(format_table(results, title="Columnar getPlan hot path"))
+    if os.environ.get("BENCH_GETPLAN_JSON"):
+        _append_trajectory(results)
+        print(f"appended trajectory run to {BENCH_JSON}")
+    for row in results:
+        if row["m"] < GATE_M:
+            continue
+        floor = GATE_SPEEDUP_HIGH_D if row["d"] >= 10 else GATE_SPEEDUP
+        assert row["speedup"] >= floor, (
+            f"vectorized probe throughput at m={row['m']} d={row['d']} is "
+            f"only {row['speedup']}x the scalar scan (gate {floor}x)"
+        )
+        # The batched pass must at least keep pace with per-probe
+        # vectorized dispatch (shared budget vector, chunked kernels).
+        assert row["batch_probes_per_s"] >= 0.5 * row["vectorized_probes_per_s"]
+
+
+def test_bench_trajectory_file_is_well_formed():
+    """The checked-in trajectory is part of the repo contract."""
+    assert BENCH_JSON.exists(), (
+        f"missing {BENCH_JSON}; run "
+        "`BENCH_GETPLAN_JSON=1 PYTHONPATH=src python -m pytest -q -s "
+        "benchmarks/test_sec73_getplan_overheads.py -k hotpath`"
+    )
+    doc = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+    assert doc["schema"] == BENCH_SCHEMA
+    assert doc["runs"], "trajectory must contain at least one run"
+    for run in doc["runs"]:
+        assert set(run) == {"timestamp", "probes", "results"}
+        for row in run["results"]:
+            assert row["m"] in CACHE_SIZES and row["d"] in DIMENSIONS
+    latest = doc["runs"][-1]["results"]
+    gated = [r for r in latest if r["m"] >= GATE_M and r["d"] < 10]
+    assert gated and all(r["speedup"] >= GATE_SPEEDUP for r in gated), (
+        "checked-in trajectory's latest run no longer clears the 5x gate"
+    )

@@ -137,6 +137,20 @@ def gl_log_distance(stored: SelectivityVector, new: SelectivityVector) -> float:
 # bound arithmetic then runs unchanged on the corner vector.
 
 
+def corner_picks_hi(anchor_s: float, lo: float, hi: float) -> bool:
+    """The per-dimension endpoint predicate of the adversarial corner.
+
+    ``hi`` maximizes the G·L contribution iff it is at least as far from
+    the anchor selectivity ``e`` in log space as ``lo`` is, i.e.
+    ``ln(hi) − ln(e) ≥ ln(e) − ln(lo)``  ⇔  ``lo·hi ≥ e²`` (ties break
+    to ``hi``; either endpoint attains the max then).  This is the exact
+    predicate :func:`repro.core.columnar.corner_matrix` evaluates on the
+    lo/hi row vectors against the anchor matrix, so the scalar and
+    vectorized robust checks agree bit for bit.
+    """
+    return lo * hi >= anchor_s * anchor_s
+
+
 def adversarial_corner(
     anchor: SelectivityVector, usv: UncertainSelectivityVector
 ) -> SelectivityVector:
@@ -154,7 +168,7 @@ def adversarial_corner(
     the robust check bit-for-bit identical to the point check there.
     """
     return SelectivityVector.from_sequence(
-        [hi if lo * hi >= e * e else lo
+        [hi if corner_picks_hi(e, lo, hi) else lo
          for e, lo, hi in zip(anchor, usv.lo, usv.hi)]
     )
 

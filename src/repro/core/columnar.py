@@ -1,0 +1,203 @@
+"""Columnar (structure-of-arrays) view of the instance list.
+
+The per-instance Python arithmetic of ``getPlan``'s selectivity check is
+the serving cost at high hit rates (ROADMAP item 2; the paper's §6.2
+overheads discussion).  This module restructures the instance list into
+parallel ``numpy`` arrays so one probe computes G·L against *all*
+candidate anchors in a handful of array ops, and a batch of incoming
+instances is evaluated against the whole cache in one broadcasted pass.
+
+Layout
+------
+One :class:`ColumnarInstances` view holds, for the ``N`` entries of a
+cache epoch (``d`` = template dimensionality):
+
+* ``sv`` — the raw selectivity matrix ``(N, d)``;
+* ``log_sv`` — the same matrix in natural-log space ``(N, d)`` (L1
+  distances in this space are ``ln(G·L)``; used for nearest-anchor
+  ranking and the §6.2 grid-index cell keys);
+* ``sub`` / ``cost`` / ``plan_ids`` — the S, C and PP columns of the
+  paper's 5-tuple as ``(N,)`` vectors;
+* ``area`` — ``Π_i s_i`` per row, the AREA candidate-order key,
+  computed once per epoch instead of once per probe.
+
+Copy-on-write discipline
+------------------------
+Views are immutable and built lazily per cache epoch by
+:meth:`~repro.core.plan_cache.PlanCache.columnar`, exactly like
+:class:`~repro.core.plan_cache.CacheSnapshot` — between mutations the
+same view is handed out, so columnar access on the hot path is O(1).
+Only the *write-once* guarantee-bearing fields (``sv``, ``plan_id``,
+``optimal_cost``, ``suboptimality``) are columnarised.  The two advisory
+fields that mutate without an epoch bump — ``usage`` (bumped by commits)
+and ``retired`` (flipped by the Appendix G violation detector) — are
+deliberately **not** snapshotted into arrays: the vectorized decision
+procedure reads them live from the entry objects, mirroring the scalar
+reference bit for bit even when a flag flips between epoch rebuilds.
+
+Equivalence contract
+--------------------
+Every kernel here reproduces the scalar reference arithmetic of
+:mod:`repro.core.bounds` with the *same IEEE-754 operation sequence*:
+``np.multiply.reduce`` / ``np.divide.reduce`` apply their operation
+sequentially left-to-right for the short (d ≤ 16) inner axis, matching
+the scalar loops' ``g *= alpha`` / ``l /= alpha`` exactly, and the
+adversarial-corner selection vectorizes the very ``lo·hi ≥ e²``
+endpoint predicate of :func:`repro.core.bounds.adversarial_corner`.
+This is why ``sv`` is stored raw alongside ``log_sv``: deriving G·L
+from log-space sums would round differently from the scalar products
+and break the decision-equivalence contract the differential suite
+(``tests/test_vectorized_equivalence.py``) enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+try:  # numpy is a hard dependency of the package, but the scalar
+    import numpy as np  # decision procedure must keep working without it
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised only on broken installs
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .plan_cache import InstanceEntry
+
+
+def _require_numpy() -> None:
+    if not HAVE_NUMPY:  # pragma: no cover - exercised only on broken installs
+        raise RuntimeError(
+            "numpy is required for the columnar getPlan hot path; "
+            "use check_impl='scalar' without it"
+        )
+
+
+@dataclass(frozen=True)
+class ColumnarInstances:
+    """Immutable columnar view of one epoch of the instance list.
+
+    ``entries`` is the row-aligned tuple of the live
+    :class:`~repro.core.plan_cache.InstanceEntry` objects — row ``i`` of
+    every array describes ``entries[i]``, and decisions still reference
+    the entry object itself (the anchor the certificate names).
+    """
+
+    epoch: int
+    entries: tuple["InstanceEntry", ...]
+    sv: "np.ndarray"        # (N, d) raw selectivities
+    log_sv: "np.ndarray"    # (N, d) natural logs
+    sub: "np.ndarray"       # (N,) S column
+    cost: "np.ndarray"      # (N,) C column
+    plan_ids: "np.ndarray"  # (N,) PP column
+    area: "np.ndarray"      # (N,) Π_i s_i (AREA candidate-order key)
+
+    @classmethod
+    def build(
+        cls, epoch: int, entries: Sequence["InstanceEntry"]
+    ) -> "ColumnarInstances":
+        _require_numpy()
+        entries = tuple(entries)
+        if not entries:
+            empty2 = np.empty((0, 0), dtype=np.float64)
+            empty1 = np.empty(0, dtype=np.float64)
+            return cls(
+                epoch=epoch, entries=entries, sv=empty2, log_sv=empty2,
+                sub=empty1, cost=empty1,
+                plan_ids=np.empty(0, dtype=np.int64), area=empty1,
+            )
+        sv = np.array([e.sv.values for e in entries], dtype=np.float64)
+        return cls(
+            epoch=epoch,
+            entries=entries,
+            sv=sv,
+            log_sv=np.log(sv),
+            sub=np.array([e.suboptimality for e in entries], dtype=np.float64),
+            cost=np.array([e.optimal_cost for e in entries], dtype=np.float64),
+            plan_ids=np.array([e.plan_id for e in entries], dtype=np.int64),
+            # multiply.reduce applies left-to-right over the short inner
+            # axis: bit-identical to InstanceEntry.sv_product's loop.
+            area=np.multiply.reduce(sv, axis=1),
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def dimensions(self) -> int:
+        return self.sv.shape[1]
+
+
+# -- G/L kernels --------------------------------------------------------------
+#
+# All kernels take an already-validated (B, d) matrix of incoming points
+# (B = 1 for a single probe) and return (B, N) factor matrices.  The
+# (B, N, d) intermediate is the memory hot spot; callers chunk over B.
+
+
+def gl_matrix(
+    sv: "np.ndarray", points: "np.ndarray"
+) -> tuple["np.ndarray", "np.ndarray"]:
+    """``(G, L)`` of every (incoming point, stored anchor) pair.
+
+    Mirrors :func:`repro.core.bounds.compute_gl` exactly: per-dimension
+    ratios ``alpha = point / anchor``, ``G = Π_{alpha>1} alpha`` via
+    sequential multiply, ``L`` via sequential divide starting at 1.0
+    (``l /= alpha``), so every float matches the scalar loop.
+    """
+    alphas = points[:, None, :] / sv[None, :, :]
+    g = np.multiply.reduce(np.where(alphas > 1.0, alphas, 1.0), axis=2)
+    l = np.divide.reduce(np.where(alphas < 1.0, alphas, 1.0), axis=2,
+                         initial=1.0)
+    return g, l
+
+
+def corner_matrix(
+    sv: "np.ndarray", lo: "np.ndarray", hi: "np.ndarray"
+) -> "np.ndarray":
+    """Adversarial corner of each box against each stored anchor.
+
+    Vectorizes :func:`repro.core.bounds.adversarial_corner`'s endpoint
+    predicate (``lo·hi ≥ e²`` picks ``hi``, ties to ``hi``) over the
+    ``(B, d)`` box bounds and the ``(N, d)`` anchor matrix, returning
+    the ``(B, N, d)`` corner tensor.
+    """
+    return np.where(
+        (lo * hi)[:, None, :] >= sv[None, :, :] * sv[None, :, :],
+        hi[:, None, :],
+        lo[:, None, :],
+    )
+
+
+def corner_gl_matrix(
+    sv: "np.ndarray", lo: "np.ndarray", hi: "np.ndarray"
+) -> tuple["np.ndarray", "np.ndarray"]:
+    """``(G, L)`` evaluated at each box's adversarial corner."""
+    corner = corner_matrix(sv, lo, hi)
+    alphas = corner / sv[None, :, :]
+    g = np.multiply.reduce(np.where(alphas > 1.0, alphas, 1.0), axis=2)
+    l = np.divide.reduce(np.where(alphas < 1.0, alphas, 1.0), axis=2,
+                         initial=1.0)
+    return g, l
+
+
+def log_l1_distances(log_sv: "np.ndarray", point: "np.ndarray") -> "np.ndarray":
+    """``ln(G·L)`` of one point against every anchor (L1 in log space).
+
+    Used for nearest-anchor *ranking* (degraded serves, seeding), where
+    bit-parity with ``math.log`` is not load-bearing — never for the
+    certified checks themselves.
+    """
+    if log_sv.shape[0] == 0:
+        return np.empty(0, dtype=np.float64)
+    return np.abs(np.log(point)[None, :] - log_sv).sum(axis=1)
+
+
+def chunk_rows(batch: int, n: int, d: int, budget: int = 2_000_000) -> int:
+    """Rows per kernel chunk so the (B, N, d) intermediate stays small."""
+    if batch <= 1:
+        return 1
+    per_row = max(1, n * max(1, d))
+    return max(1, min(batch, budget // per_row))

@@ -42,6 +42,18 @@ class DynamicLambda:
         decay = math.exp(-max(cost, 0.0) / self.cost_scale)
         return self.lambda_min + (self.lambda_max - self.lambda_min) * decay
 
+    def state_token(self) -> tuple:
+        """Memoization token for the vectorized getPlan path.
+
+        The schedule is a pure function of the anchor cost, so a λ
+        vector computed once per columnar epoch stays valid until the
+        instance list changes; a frozen instance has no mutable state
+        to encode.  Returning a token (rather than not defining the
+        method) is the opt-in: callables without one are re-evaluated
+        per probe because their output may change between calls.
+        """
+        return ()
+
 
 class PressureRelaxedLambda:
     """Pressure-driven λ relaxation — the brownout hook into dynamic λ.
@@ -93,3 +105,25 @@ class PressureRelaxedLambda:
             if self.ceiling is not None:
                 lam = min(lam, self.ceiling)
         return max(lam, 1.0)
+
+    def state_token(self) -> "tuple | None":
+        """Memoization token for the vectorized getPlan path.
+
+        The relaxation depends on the live brownout level, so the token
+        captures whether relaxation is currently in force; a change of
+        level invalidates any memoized λ vector.  A wrapped base
+        schedule must expose its own token for the composition to be
+        memoizable — ``None`` disables memoization (the hook is then
+        re-evaluated per probe, which is always correct, just slower).
+        """
+        if callable(self.base):
+            base_token = getattr(self.base, "state_token", None)
+            if base_token is None:
+                return None
+            inner = base_token()
+            if inner is None:
+                return None
+        else:
+            inner = ()
+        relaxed = self.level_provider() >= self.relax_at_level
+        return (relaxed, inner)

@@ -34,7 +34,21 @@ from .bounds import (
     compute_gl,
     cost_corner,
 )
+from .columnar import (
+    HAVE_NUMPY,
+    ColumnarInstances,
+    chunk_rows,
+    corner_gl_matrix,
+    gl_matrix,
+    np,
+)
 from .plan_cache import InstanceEntry, PlanCache
+
+#: Decision-procedure implementations selectable per GetPlan/SCR/shard.
+#: Both produce identical decisions (the differential suite in
+#: ``tests/test_vectorized_equivalence.py`` enforces it); ``scalar`` is
+#: the readable reference, ``vectorized`` the columnar numpy hot path.
+CHECK_IMPLS = ("scalar", "vectorized")
 
 
 class CheckKind(Enum):
@@ -167,6 +181,14 @@ class GetPlan:
         of the instance's uncertainty box.
     target_coverage:
         The coverage ``p`` that ``PROBABILISTIC`` mode certifies at.
+    check_impl:
+        ``"vectorized"`` (default) runs the selectivity check as a few
+        numpy ops over the cache's columnar view; ``"scalar"`` keeps the
+        per-entry reference loop.  Both produce identical decisions —
+        the vectorized kernels replay the scalar IEEE-754 operation
+        sequence (see :mod:`repro.core.columnar`) — so the knob is a
+        performance choice, not a semantic one.  Falls back to scalar
+        automatically when numpy is unavailable.
     """
 
     cache: PlanCache
@@ -177,6 +199,7 @@ class GetPlan:
     candidate_order: CandidateOrder = CandidateOrder.GL
     check_mode: CheckMode = CheckMode.POINT
     target_coverage: float = 0.95
+    check_impl: str = "vectorized"
     #: Optional span recorder timing the two check phases (set when an
     #: Observability handle is wired in; None keeps probes span-free).
     spans: Optional[SpanRecorder] = None
@@ -198,6 +221,26 @@ class GetPlan:
             raise ValueError(
                 f"target_coverage must be in (0, 1], got {self.target_coverage}"
             )
+        if self.check_impl not in CHECK_IMPLS:
+            raise ValueError(
+                f"check_impl must be one of {CHECK_IMPLS}, got {self.check_impl!r}"
+            )
+        if not HAVE_NUMPY:
+            self.check_impl = "scalar"
+        # Memoized (view, state token, λ vector) for the vectorized path;
+        # see _budget_vector.
+        self._lambda_memo: Optional[tuple] = None
+        self._budget_memo: Optional[tuple] = None
+
+    @property
+    def vectorized(self) -> bool:
+        return self.check_impl == "vectorized"
+
+    @property
+    def supports_batch(self) -> bool:
+        """Whether :meth:`probe_batch` runs as a true matmul-shaped batch
+        (it always *works*, degrading to a probe loop otherwise)."""
+        return self.vectorized
 
     def _effective_lambda(self, entry: InstanceEntry) -> float:
         if self.lambda_for is None:
@@ -265,14 +308,25 @@ class GetPlan:
         for this call only (brownout's interval-relaxation step); point
         mode ignores it.
         """
-        if entries is None:
-            entries = self.cache.instances()
         point, box = self._resolve_box(sv, coverage)
+        view = self._columnar_view(entries) if self.vectorized else None
         spans = self.spans
         timed = spans is not None and spans.enabled
         start = spans.clock.perf_counter() if timed else 0.0
-        decision, candidates = self._selectivity_phase(point, box, entries)
+        if view is not None:
+            decision, candidates, presorted = self._selectivity_phase_vectorized(
+                point, box, view, self._effective_cap(max_recost)
+            )
+        else:
+            if entries is None:
+                entries = self.cache.instances()
+            decision, candidates = self._selectivity_phase(point, box, entries)
+            presorted = False
         if timed:
+            # ``candidates`` counts the cost-check candidates actually
+            # materialized: the vectorized miss path stops at the recost
+            # cap (only that prefix is ever consumed), so its count can
+            # read lower than the scalar scan's full survivor list.
             spans.record(
                 "scr.selectivity_check", start,
                 spans.clock.perf_counter() - start,
@@ -282,13 +336,35 @@ class GetPlan:
             return decision
         if timed:
             start = spans.clock.perf_counter()
-        decision = self._cost_phase(point, box, recost, candidates, max_recost)
+        decision = self._cost_phase(
+            point, box, recost, candidates, max_recost, presorted=presorted
+        )
         if timed:
             spans.record(
                 "scr.cost_check", start, spans.clock.perf_counter() - start,
                 hit=decision.hit, recost_calls=decision.recost_calls,
             )
         return decision
+
+    def _columnar_view(
+        self, entries: Optional[Iterable[InstanceEntry]]
+    ) -> ColumnarInstances:
+        """Resolve the columnar view the vectorized phases probe.
+
+        ``None`` means the live instance list — the cache's cached
+        per-epoch view.  A snapshot's entries tuple usually *is* the
+        tuple the cached view was built from (identity check, no
+        epoch-number guessing); anything else — a raced snapshot, an
+        explicit entry subset — gets a transient view built on the spot,
+        which costs one columnarisation but stays decision-identical.
+        """
+        if entries is None:
+            return self.cache.columnar()
+        entries = entries if isinstance(entries, tuple) else tuple(entries)
+        view = self.cache.columnar()
+        if view.entries is entries:
+            return view
+        return ColumnarInstances.build(-1, entries)
 
     def _selectivity_phase(
         self,
@@ -341,6 +417,228 @@ class GetPlan:
                 candidates.append((gc * lc, g, l, entry))
         return None, candidates
 
+    # -- vectorized selectivity phase (columnar hot path) --------------------
+
+    def _effective_cap(self, max_recost: Optional[int]) -> int:
+        """The number of cost-check candidates this probe can consume."""
+        if max_recost is None:
+            return self.max_recost_candidates
+        return min(self.max_recost_candidates, max_recost)
+
+    def _budget_vector(self, view: ColumnarInstances) -> "np.ndarray":
+        """``λ/S`` per stored instance, as an ``(N,)`` vector.
+
+        With a constant λ this is one broadcast divide, memoized per
+        view (views are immutable).  With a dynamic λ the callable must
+        run per anchor cost; callables exposing a ``state_token()``
+        (see :mod:`repro.core.dynamic_lambda`) get the resulting λ
+        vector memoized per (view, token) so steady-state probes skip
+        the Python loop, while token-less callables are re-evaluated
+        every probe — always correct, just slower.
+        """
+        if self.lambda_for is None:
+            memo = self._budget_memo
+            if memo is not None and memo[0] is view:
+                return memo[1]
+            budget = self.lam / view.sub
+            self._budget_memo = (view, budget)
+            return budget
+        token_fn = getattr(self.lambda_for, "state_token", None)
+        token = token_fn() if token_fn is not None else None
+        memo = self._lambda_memo
+        if (
+            token is not None
+            and memo is not None
+            and memo[0] is view
+            and memo[1] == token
+        ):
+            lam_vec = memo[2]
+        else:
+            lam_vec = np.array(
+                [self.lambda_for(c) for c in view.cost.tolist()],
+                dtype=np.float64,
+            )
+            if token is not None:
+                self._lambda_memo = (view, token, lam_vec)
+        return lam_vec / view.sub
+
+    def _selectivity_phase_vectorized(
+        self,
+        point: SelectivityVector,
+        box: Optional[UncertainSelectivityVector],
+        view: ColumnarInstances,
+        cap: Optional[int] = None,
+    ) -> tuple[
+        Optional[GetPlanDecision],
+        list[tuple[float, float, float, InstanceEntry]],
+        bool,
+    ]:
+        """Columnar selectivity check: G·L against all anchors at once.
+
+        Same contract as :meth:`_selectivity_phase` plus a ``presorted``
+        flag: on a miss the surviving candidates come back already in
+        the configured candidate order (sorted columnar-side via a
+        stable argsort, which permutes equal keys exactly like the
+        scalar path's stable ``list.sort``), so the cost phase skips its
+        own sort.  ``cap`` (this probe's recost budget) lets the miss
+        path materialize only the candidate prefix the cost phase can
+        consume.
+        """
+        if len(view) == 0:
+            return None, [], False
+        pts = np.array([point.values], dtype=np.float64)
+        g_row, l_row = gl_matrix(view.sv, pts)
+        if box is not None:
+            lo = np.array([box.lo.values], dtype=np.float64)
+            hi = np.array([box.hi.values], dtype=np.float64)
+            gc_row, lc_row = corner_gl_matrix(view.sv, lo, hi)
+        else:
+            gc_row, lc_row = g_row, l_row
+        return self._decide_row(
+            point, box, view, g_row[0], l_row[0], gc_row[0], lc_row[0],
+            self._budget_vector(view), cap,
+        )
+
+    def _decide_row(
+        self,
+        point: SelectivityVector,
+        box: Optional[UncertainSelectivityVector],
+        view: ColumnarInstances,
+        g: "np.ndarray",
+        l: "np.ndarray",
+        gc: "np.ndarray",
+        lc: "np.ndarray",
+        budget: "np.ndarray",
+        cap: Optional[int] = None,
+    ) -> tuple[
+        Optional[GetPlanDecision],
+        list[tuple[float, float, float, InstanceEntry]],
+        bool,
+    ]:
+        """Turn one probe's precomputed factor vectors into a decision.
+
+        Replays the scalar scan's semantics exactly: the hit is the
+        *first* passing entry in list order; ``entries_scanned`` counts
+        entries up to and including the hit (all of them on a miss); the
+        cost-check candidates are the non-retired failing entries seen
+        *before* the hit (all failing entries on a miss), with
+        ``retired`` read live off the entry objects — the flag flips
+        without an epoch bump, so the arrays can't carry it.
+
+        ``cap`` is this probe's effective recost budget: once the miss
+        path has sorted columnar-side, only the first ``cap`` surviving
+        candidates can ever be consumed by the cost phase, so only that
+        prefix is materialized as Python tuples (the dominant per-probe
+        cost at large N).  Decisions are unaffected; only the advisory
+        span attribute counting materialized candidates sees the cap.
+        """
+        robust = box is not None
+        cert = certificate_kind(box)
+        cov = box.coverage if robust else 1.0
+        entries_t = view.entries
+        glc = gc * lc
+        degree = self.bound.degree
+        if degree == 1.0:
+            # pow(x, 1.0) is exact, so this IS the scalar check value.
+            check = glc
+        else:
+            # numpy's pow special-cases small exponents (x**2 -> x*x)
+            # and may round differently from libm; replay CPython's pow
+            # per element to keep the ablation degrees bit-identical.
+            check = np.array(
+                [v ** degree for v in glc.tolist()], dtype=np.float64
+            )
+        mask = check <= budget
+        hit = int(np.argmax(mask)) if bool(mask.any()) else -1
+        if hit >= 0:
+            self.entries_scanned += hit + 1
+            entry = entries_t[hit]
+            fail = np.flatnonzero(~mask[:hit])
+            decision = GetPlanDecision(
+                plan_id=entry.plan_id,
+                check=CheckKind.SELECTIVITY,
+                anchor=entry,
+                g=float(g[hit]),
+                l=float(l[hit]),
+                bound_value=(
+                    entry.suboptimality * float(check[hit]) if robust else None
+                ),
+                certificate=cert,
+                coverage=cov,
+            )
+            presorted = False
+        else:
+            self.entries_scanned += len(entries_t)
+            fail = np.flatnonzero(~mask)
+            decision = None
+            # Sort columnar-side while the keys are still vectors; the
+            # stable argsort yields the same permutation as the scalar
+            # path's stable list.sort over bit-identical keys, and
+            # sort-then-filter-retired equals filter-then-sort because
+            # stability preserves the survivors' relative order.
+            if self.candidate_order is CandidateOrder.GL:
+                fail = fail[np.argsort(glc[fail], kind="stable")]
+                presorted = True
+            elif self.candidate_order is CandidateOrder.AREA:
+                fail = fail[np.argsort(-view.area[fail], kind="stable")]
+                presorted = True
+            else:  # USAGE mutates without epoch bumps: sort scalar-side.
+                presorted = False
+            if presorted and cap is not None and cap < fail.size:
+                return (
+                    None,
+                    self._materialize_prefix(fail, glc, g, l, entries_t, cap),
+                    True,
+                )
+        idx = fail.tolist()
+        keys = glc[fail].tolist()
+        gs = g[fail].tolist()
+        ls = l[fail].tolist()
+        candidates = [
+            (key, gv, lv, entries_t[i])
+            for key, gv, lv, i in zip(keys, gs, ls, idx)
+            if not entries_t[i].retired
+        ]
+        return decision, candidates, decision is None and presorted
+
+    @staticmethod
+    def _materialize_prefix(
+        fail: "np.ndarray",
+        glc: "np.ndarray",
+        g: "np.ndarray",
+        l: "np.ndarray",
+        entries_t: tuple[InstanceEntry, ...],
+        cap: int,
+    ) -> list[tuple[float, float, float, InstanceEntry]]:
+        """First ``cap`` non-retired candidates of an already-ordered
+        index vector, touching as few rows as possible.
+
+        ``retired`` must be read live per entry, so the filter can't be
+        vectorized; instead the ordered indices are consumed in doubling
+        windows (retirement is rare, so the first window almost always
+        suffices) and materialization stops at ``cap`` tuples — the
+        exact prefix the cost phase consumes.
+        """
+        candidates: list[tuple[float, float, float, InstanceEntry]] = []
+        pos = 0
+        window = max(cap, 1)
+        total = int(fail.size)
+        while len(candidates) < cap and pos < total:
+            chunk = fail[pos:pos + window]
+            rows = zip(
+                glc[chunk].tolist(), g[chunk].tolist(), l[chunk].tolist(),
+                chunk.tolist(),
+            )
+            for key, gv, lv, i in rows:
+                entry = entries_t[i]
+                if not entry.retired:
+                    candidates.append((key, gv, lv, entry))
+                    if len(candidates) == cap:
+                        break
+            pos += window
+            window *= 2
+        return candidates
+
     def _cost_phase(
         self,
         point: SelectivityVector,
@@ -348,9 +646,14 @@ class GetPlan:
         recost: Callable[[ShrunkenMemo, SelectivityVector], float],
         candidates: list[tuple[float, float, float, InstanceEntry]],
         max_recost: Optional[int] = None,
+        presorted: bool = False,
     ) -> GetPlanDecision:
         """Cost check: capped number of Recost calls, ordered per the
         configured heuristic (G·L ascending is the paper's).
+
+        ``presorted`` skips the ordering step when the selectivity phase
+        already delivered the candidates in the configured order (the
+        vectorized path sorts columnar-side).
 
         Recost always runs at the *point* estimate; with a box, the
         Cost Bounding Lemma transports that cost to the corner
@@ -360,7 +663,8 @@ class GetPlan:
         robust = box is not None
         cert = certificate_kind(box)
         cov = box.coverage if robust else 1.0
-        self._order_candidates(candidates)
+        if not presorted:
+            self._order_candidates(candidates)
         cap = self.max_recost_candidates
         if max_recost is not None:
             cap = min(cap, max_recost)
@@ -420,13 +724,14 @@ class GetPlan:
         self, candidates: list[tuple[float, float, float, InstanceEntry]]
     ) -> None:
         if self.candidate_order is CandidateOrder.GL:
+            # The (corner) G·L key was computed once by the selectivity
+            # phase and travels in the tuple; never re-derive it here.
             candidates.sort(key=lambda item: item[0])
         elif self.candidate_order is CandidateOrder.AREA:
             # Region area grows with the product of the anchor's
             # selectivities (Figure 4's closed form): largest first.
-            candidates.sort(
-                key=lambda item: -_product(item[3].sv)
-            )
+            # sv_product is cached per entry, not recomputed per sort.
+            candidates.sort(key=lambda item: -item[3].sv_product)
         else:  # USAGE: most-used anchors first.
             candidates.sort(key=lambda item: -item[3].usage)
 
@@ -434,9 +739,74 @@ class GetPlan:
         self.total_recost_calls += calls
         self.max_recost_calls_single = max(self.max_recost_calls_single, calls)
 
+    # -- batch probing (matmul-shaped; ConcurrentPQOManager.submit_batch) ----
 
-def _product(sv: SelectivityVector) -> float:
-    out = 1.0
-    for s in sv:
-        out *= s
-    return out
+    def probe_batch(
+        self,
+        svs: "Iterable[AnySelectivityVector]",
+        recost: Callable[[ShrunkenMemo, SelectivityVector], float],
+        entries: Optional[Iterable[InstanceEntry]] = None,
+        max_recost: Optional[int] = None,
+        coverage: Optional[float] = None,
+    ) -> list[GetPlanDecision]:
+        """Probe many instances against the cache in one broadcast pass.
+
+        Computes the (B, N) G·L factor matrices for the whole batch —
+        chunked so the (B, N, d) intermediate stays bounded — then
+        assembles each row's decision with exactly the per-probe logic,
+        including per-row cost phases for the rows whose selectivity
+        check missed.  Decision-identical to calling :meth:`probe` per
+        vector (the order of probes is the list order); like ``probe``
+        it commits nothing.  Without numpy (or under
+        ``check_impl="scalar"``) it degrades to that probe loop.
+        """
+        svs = list(svs)
+        if not svs:
+            return []
+        if not self.vectorized:
+            if entries is not None and not isinstance(entries, tuple):
+                entries = tuple(entries)
+            return [
+                self.probe(
+                    sv, recost, entries=entries,
+                    max_recost=max_recost, coverage=coverage,
+                )
+                for sv in svs
+            ]
+        view = self._columnar_view(entries)
+        resolved = [self._resolve_box(sv, coverage) for sv in svs]
+        decisions: list[GetPlanDecision] = []
+        if len(view) == 0:
+            for point, box in resolved:
+                decisions.append(
+                    self._cost_phase(point, box, recost, [], max_recost)
+                )
+            return decisions
+        budget = self._budget_vector(view)
+        cap = self._effective_cap(max_recost)
+        # The check mode fixes box-ness uniformly across the batch.
+        robust = resolved[0][1] is not None
+        pts = np.array([p.values for p, _ in resolved], dtype=np.float64)
+        batch, dims = pts.shape
+        step = chunk_rows(batch, len(view), dims)
+        for lo_row in range(0, batch, step):
+            chunk = resolved[lo_row:lo_row + step]
+            g_m, l_m = gl_matrix(view.sv, pts[lo_row:lo_row + step])
+            if robust:
+                lo = np.array([b.lo.values for _, b in chunk], dtype=np.float64)
+                hi = np.array([b.hi.values for _, b in chunk], dtype=np.float64)
+                gc_m, lc_m = corner_gl_matrix(view.sv, lo, hi)
+            else:
+                gc_m, lc_m = g_m, l_m
+            for j, (point, box) in enumerate(chunk):
+                decision, candidates, presorted = self._decide_row(
+                    point, box, view,
+                    g_m[j], l_m[j], gc_m[j], lc_m[j], budget, cap,
+                )
+                if decision is None:
+                    decision = self._cost_phase(
+                        point, box, recost, candidates, max_recost,
+                        presorted=presorted,
+                    )
+                decisions.append(decision)
+        return decisions

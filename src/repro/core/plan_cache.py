@@ -60,6 +60,19 @@ class InstanceEntry:
         """``Cost(P(q_e), q_e) = C * S``."""
         return self.optimal_cost * self.suboptimality
 
+    @property
+    def sv_product(self) -> float:
+        """``Π_i s_i`` — the AREA candidate-order key (Figure 4's region
+        area grows with it).  ``sv`` is write-once, so the product is
+        computed at most once per entry instead of once per probe."""
+        cached = self.__dict__.get("_sv_product")
+        if cached is None:
+            cached = 1.0
+            for s in self.sv:
+                cached *= s
+            self.__dict__["_sv_product"] = cached
+        return cached
+
 
 @dataclass(frozen=True)
 class CacheSnapshot:
@@ -94,6 +107,7 @@ class PlanCache:
     #: epochs to detect that a snapshot went stale.
     epoch: int = 0
     _snapshot: Optional[CacheSnapshot] = field(default=None, repr=False)
+    _columnar: Optional[object] = field(default=None, repr=False)
     # Observers (e.g. the §6.2 spatial index) notified on mutation.
     on_instance_added: list = field(default_factory=list)
     on_plan_dropped: list = field(default_factory=list)
@@ -101,6 +115,7 @@ class PlanCache:
     def _mutated(self) -> None:
         self.epoch += 1
         self._snapshot = None
+        self._columnar = None
 
     def snapshot(self) -> CacheSnapshot:
         """Copy-on-write snapshot of the instance list.
@@ -114,6 +129,29 @@ class PlanCache:
             snap = CacheSnapshot(epoch=self.epoch, entries=tuple(self._instances))
             self._snapshot = snap
         return snap
+
+    def columnar(self):
+        """Copy-on-write columnar view of the instance list.
+
+        The structure-of-arrays twin of :meth:`snapshot`: built from the
+        same entries tuple (so ``columnar().entries is snapshot.entries``
+        within an epoch), cached until the next structural mutation, and
+        rebuilt lazily by the first reader after one.  The vectorized
+        ``getPlan`` hot path probes these arrays; decisions still point
+        at the shared :class:`InstanceEntry` objects.
+        """
+        from .columnar import ColumnarInstances
+
+        snap = self.snapshot()
+        view = self._columnar
+        if (
+            view is None
+            or view.epoch != snap.epoch
+            or view.entries is not snap.entries
+        ):
+            view = ColumnarInstances.build(snap.epoch, snap.entries)
+            self._columnar = view
+        return view
 
     def touch(self, plan_id: int) -> None:
         """Record a reuse of ``plan_id`` (advances the LRU clock)."""

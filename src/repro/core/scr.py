@@ -29,6 +29,7 @@ from ..query.instance import (
     as_point,
 )
 from .bounds import BoundingFunction, LINEAR_BOUND, adversarial_corner, compute_gl
+from .columnar import log_l1_distances, np
 from .get_plan import (
     CandidateOrder,
     CheckKind,
@@ -72,6 +73,10 @@ class SCR(OnlinePQOTechnique):
         ``"probabilistic"`` (robust checks at ``target_coverage``).
     target_coverage:
         Coverage certified by the probabilistic mode.
+    check_impl:
+        ``"vectorized"`` (default) or ``"scalar"`` — which getPlan
+        decision-procedure implementation runs (identical decisions;
+        see :class:`~repro.core.get_plan.GetPlan`).
     """
 
     def __init__(
@@ -91,6 +96,7 @@ class SCR(OnlinePQOTechnique):
         obs: Optional[Observability] = None,
         check_mode: "CheckMode | str" = CheckMode.POINT,
         target_coverage: float = 0.95,
+        check_impl: str = "vectorized",
     ) -> None:
         super().__init__(engine)
         self.lam = lam
@@ -118,6 +124,7 @@ class SCR(OnlinePQOTechnique):
                 bound=bound,
                 lambda_for=lambda_for,
                 candidate_order=candidate_order,
+                check_impl=check_impl,
             )
         else:
             self.get_plan = GetPlan(
@@ -129,6 +136,7 @@ class SCR(OnlinePQOTechnique):
                 candidate_order=candidate_order,
                 check_mode=self.check_mode,
                 target_coverage=target_coverage,
+                check_impl=check_impl,
             )
         self.manage_cache = ManageCache(
             cache=self.cache,
@@ -313,8 +321,24 @@ class SCR(OnlinePQOTechnique):
     def _nearest_entry(self, sv: AnySelectivityVector):
         """The cached anchor closest to ``sv`` in log-selectivity space —
         the best available plan when no bound can be verified (optimizer
-        down, deadline exhausted, brownout)."""
+        down, deadline exhausted, brownout).
+
+        Under the vectorized implementation the ranking is one L1
+        distance over the columnar ``log_sv`` matrix.  Ranking is not
+        guarantee-bearing (the serve is uncertified either way), so the
+        ``np.log``-vs-``math.log`` ulp difference from the scalar scan
+        is acceptable; ties resolve to the first entry in list order in
+        both implementations.
+        """
         point = as_point(sv)
+        if self.get_plan.vectorized:
+            view = self.cache.columnar()
+            if len(view) == 0:
+                return None
+            distances = log_l1_distances(
+                view.log_sv, np.array(point.values, dtype=np.float64)
+            )
+            return view.entries[int(np.argmin(distances))]
         best = None
         best_distance = float("inf")
         for entry in self.cache.instances():

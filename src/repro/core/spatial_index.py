@@ -10,6 +10,16 @@ in log-selectivity space, a uniform grid over that space answers
 "anchors with G·L ≤ λ" queries by visiting only cells within an L∞
 radius of ``ln λ`` — sound because the L1 ball is contained in the L∞
 box of the same radius.
+
+The index rides the columnar layout two ways: the occupied-cell ring
+check runs as one vectorized L∞ distance over the stacked cell-key
+matrix, and each visited cell hands out a per-cell
+:class:`~repro.core.columnar.ColumnarInstances` mini-view so the
+selectivity check inside the neighborhood is the same handful of numpy
+ops as the flat vectorized scan.  Cell *assignment* stays on
+``math.log`` (via ``SelectivityVector.log_values``) regardless of
+implementation, so an entry lands in the same cell whether it was added
+one at a time or in bulk.
 """
 
 from __future__ import annotations
@@ -19,14 +29,18 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Optional
 
 from ..optimizer.recost import ShrunkenMemo
-from ..query.instance import SelectivityVector
+from ..query.instance import (
+    AnySelectivityVector,
+    SelectivityVector,
+)
 from .bounds import compute_gl
-from .get_plan import CheckKind, GetPlan, GetPlanDecision
+from .columnar import HAVE_NUMPY, ColumnarInstances, gl_matrix, np
+from .get_plan import CheckKind, CheckMode, GetPlan, GetPlanDecision
 from .plan_cache import InstanceEntry
 
 
 def _cell_of(sv: SelectivityVector, width: float) -> tuple[int, ...]:
-    return tuple(int(math.floor(math.log(s) / width)) for s in sv)
+    return tuple(int(math.floor(lv / width)) for lv in sv.log_values)
 
 
 @dataclass
@@ -44,6 +58,14 @@ class InstanceGridIndex:
         default_factory=dict
     )
     _count: int = 0
+    #: Per-cell mutation counters versioning the columnar mini-views.
+    _versions: dict[tuple[int, ...], int] = field(default_factory=dict)
+    _views: dict[tuple[int, ...], ColumnarInstances] = field(
+        default_factory=dict
+    )
+    #: Stacked (num_cells, d) int cell-key matrix for the vectorized
+    #: ring check; rebuilt lazily after any cell set change.
+    _key_matrix: Optional[object] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.cell_log_width <= 0:
@@ -51,7 +73,13 @@ class InstanceGridIndex:
 
     def add(self, entry: InstanceEntry) -> None:
         cell = _cell_of(entry.sv, self.cell_log_width)
-        self._cells.setdefault(cell, []).append(entry)
+        bucket = self._cells.get(cell)
+        if bucket is None:
+            self._cells[cell] = [entry]
+            self._key_matrix = None  # new occupied cell
+        else:
+            bucket.append(entry)
+        self._versions[cell] = self._versions.get(cell, 0) + 1
         self._count += 1
 
     def remove_plan(self, plan_id: int) -> int:
@@ -59,11 +87,18 @@ class InstanceGridIndex:
         removed = 0
         for cell, entries in list(self._cells.items()):
             kept = [e for e in entries if e.plan_id != plan_id]
-            removed += len(entries) - len(kept)
+            dropped = len(entries) - len(kept)
+            if not dropped:
+                continue
+            removed += dropped
+            self._versions[cell] = self._versions.get(cell, 0) + 1
             if kept:
                 self._cells[cell] = kept
             else:
                 del self._cells[cell]
+                self._versions.pop(cell, None)
+                self._views.pop(cell, None)
+                self._key_matrix = None
         self._count -= removed
         return removed
 
@@ -73,6 +108,63 @@ class InstanceGridIndex:
     @property
     def occupied_cells(self) -> int:
         return len(self._cells)
+
+    def cell_view(self, cell: tuple[int, ...]) -> ColumnarInstances:
+        """The columnar mini-view of one occupied cell.
+
+        Cached per cell and invalidated by the cell's mutation counter
+        (the ``epoch`` field of the view doubles as the version tag), so
+        steady-state probes reuse the arrays; a cell that gained or lost
+        entries is re-columnarised by its next visitor.
+        """
+        version = self._versions.get(cell, 0)
+        view = self._views.get(cell)
+        if view is None or view.epoch != version:
+            view = ColumnarInstances.build(version, self._cells[cell])
+            self._views[cell] = view
+        return view
+
+    def near_cells(
+        self, sv: SelectivityVector, log_radius: float
+    ) -> Iterator[tuple[int, ...]]:
+        """Occupied cells within L∞ ``log_radius`` of ``sv``'s cell.
+
+        Yields cells in insertion order (the order :meth:`near` scans
+        them), using one vectorized L∞ distance over the stacked key
+        matrix when numpy is present; cells of a foreign dimensionality
+        are skipped either way.
+        """
+        center = _cell_of(sv, self.cell_log_width)
+        ring = int(math.ceil(log_radius / self.cell_log_width)) + 1
+        cells = list(self._cells.keys())
+        if HAVE_NUMPY and cells:
+            keys = self._keys_for(cells, len(center))
+            if keys is not None:
+                within = np.abs(
+                    keys - np.array(center, dtype=np.int64)
+                ).max(axis=1) <= ring
+                for i in np.flatnonzero(within).tolist():
+                    yield cells[i]
+                return
+        # Scalar fallback (no numpy, or mixed dimensionalities).
+        for cell in cells:
+            if len(cell) != len(center):
+                continue
+            if all(abs(a - b) <= ring for a, b in zip(cell, center)):
+                yield cell
+
+    def _keys_for(self, cells: list, dims: int) -> Optional[object]:
+        """The stacked cell-key matrix, or None when cells have mixed
+        dimensionality (then the scalar ring check runs)."""
+        keys = self._key_matrix
+        if keys is None or keys.shape[0] != len(cells):
+            if any(len(c) != dims for c in cells):
+                return None
+            keys = np.array(cells, dtype=np.int64)
+            self._key_matrix = keys
+        elif keys.shape[1] != dims:
+            return None
+        return keys
 
     def near(
         self, sv: SelectivityVector, log_radius: float
@@ -84,16 +176,8 @@ class InstanceGridIndex:
         quantization error adds at most one cell width, accounted for
         in the ring bound).
         """
-        center = _cell_of(sv, self.cell_log_width)
-        ring = int(math.ceil(log_radius / self.cell_log_width)) + 1
-        # Iterate occupied cells (not the exponential cell box): for the
-        # instance-list sizes §6.2 worries about, occupied cells are few
-        # relative to the full grid, and distance checks are cheap.
-        for cell, entries in self._cells.items():
-            if len(cell) != len(center):
-                continue
-            if all(abs(a - b) <= ring for a, b in zip(cell, center)):
-                yield from entries
+        for cell in self.near_cells(sv, log_radius):
+            yield from self._cells[cell]
 
     def all_entries(self) -> Iterator[InstanceEntry]:
         for entries in self._cells.values():
@@ -104,11 +188,21 @@ class IndexedGetPlan(GetPlan):
     """getPlan backed by the grid index.
 
     The selectivity check visits only near cells; the cost check draws
-    its capped candidate set from an expanding neighborhood instead of
-    a global G·L sort.  The λ-optimality guarantee is unaffected — both
-    checks remain exactly as conservative — the index only changes
-    *which* anchors are examined, trading a little reuse coverage for
+    its capped candidate set from that neighborhood instead of a global
+    scan, reusing :meth:`GetPlan._cost_phase` (so the configured
+    candidate order and the per-call ``max_recost`` cap apply here
+    too).  The λ-optimality guarantee is unaffected — both checks
+    remain exactly as conservative — the index only changes *which*
+    anchors are examined, trading a little reuse coverage for
     sub-linear scan cost on large instance lists.
+
+    Under ``check_impl="vectorized"`` each visited cell is probed
+    through its columnar mini-view.  The in-radius gate compares
+    ``np.log`` against ``math.log`` bit patterns there, so an anchor a
+    ulp from the radius edge may be gated differently than under the
+    scalar implementation — that gate is a pruning heuristic, never the
+    certificate (the λ/S budget check is), so the guarantee is
+    indifferent to which side such an anchor lands on.
     """
 
     def __init__(
@@ -120,24 +214,60 @@ class IndexedGetPlan(GetPlan):
         **kwargs,
     ) -> None:
         super().__init__(cache=cache, lam=lam, **kwargs)
+        if self.check_mode is not CheckMode.POINT:
+            raise ValueError(
+                "IndexedGetPlan supports only check_mode='point'; the "
+                "grid prunes by point distance and would skip anchors "
+                "whose adversarial corner still certifies"
+            )
         # ``index or ...`` would misfire here: an empty grid has
         # len() == 0 and is falsy.
         self.index = index if index is not None else InstanceGridIndex()
         self.cost_check_log_radius = cost_check_log_radius
 
+    @property
+    def supports_batch(self) -> bool:
+        """Batch probes degrade to a probe loop: the neighborhood (and
+        hence the candidate set) is per-instance, so there is no shared
+        anchor matrix for a broadcast pass to amortize."""
+        return False
+
     def probe(
         self,
-        sv: SelectivityVector,
+        sv: AnySelectivityVector,
         recost: Callable[[ShrunkenMemo, SelectivityVector], float],
         entries: Optional[Iterable[InstanceEntry]] = None,
+        max_recost: Optional[int] = None,
+        coverage: Optional[float] = None,
     ) -> GetPlanDecision:
         if entries is not None:
             # An explicit entry set (a concurrency snapshot) bypasses the
             # index: the grid is not copy-on-write, so scan the snapshot.
-            return super().probe(sv, recost, entries)
+            return super().probe(
+                sv, recost, entries, max_recost=max_recost, coverage=coverage
+            )
         lam_max = self.lam if self.lambda_for is None else None
         # ---- selectivity check over the near neighborhood only.
         sel_radius = math.log(lam_max) if lam_max else self.cost_check_log_radius
+        if self.vectorized:
+            decision, candidates = self._indexed_selectivity_vectorized(
+                sv, sel_radius
+            )
+        else:
+            decision, candidates = self._indexed_selectivity_scalar(
+                sv, sel_radius
+            )
+        if decision is not None:
+            return decision
+        # ---- cost check over the neighborhood candidates.
+        return self._cost_phase(sv, None, recost, candidates, max_recost)
+
+    def _indexed_selectivity_scalar(
+        self, sv: SelectivityVector, sel_radius: float
+    ) -> tuple[
+        Optional[GetPlanDecision],
+        list[tuple[float, float, float, InstanceEntry]],
+    ]:
         candidates: list[tuple[float, float, float, InstanceEntry]] = []
         for entry in self.index.near(sv, self.cost_check_log_radius):
             self.entries_scanned += 1
@@ -150,27 +280,55 @@ class IndexedGetPlan(GetPlan):
                 return GetPlanDecision(
                     plan_id=entry.plan_id, check=CheckKind.SELECTIVITY,
                     anchor=entry, g=g, l=l,
-                )
+                ), candidates
             if not entry.retired:
                 candidates.append((g * l, g, l, entry))
+        return None, candidates
 
-        # ---- cost check over the neighborhood candidates, G·L order.
-        candidates.sort(key=lambda item: item[0])
-        recost_calls = 0
-        for _, g, l, entry in candidates[: self.max_recost_candidates]:
-            plan = self.cache.maybe_plan(entry.plan_id)
-            if plan is None:
-                continue  # evicted under a concurrent probe; skip
-            new_cost = recost(plan.shrunken_memo, sv)
-            recost_calls += 1
-            r = new_cost / entry.optimal_cost
-            budget = self._effective_lambda(entry) / entry.suboptimality
-            if self.bound.cost_bound(r, l) <= budget:
+    def _indexed_selectivity_vectorized(
+        self, sv: SelectivityVector, sel_radius: float
+    ) -> tuple[
+        Optional[GetPlanDecision],
+        list[tuple[float, float, float, InstanceEntry]],
+    ]:
+        """Cell-by-cell columnar scan of the near neighborhood.
+
+        Cells are visited in the same order as the scalar scan, and the
+        first passing entry within a cell wins (argmax over the cell's
+        pass mask), so hits land on the same anchor as the scalar path
+        modulo the documented radius-gate ulp caveat.
+        """
+        candidates: list[tuple[float, float, float, InstanceEntry]] = []
+        pts = np.array([sv.values], dtype=np.float64)
+        for cell in self.index.near_cells(sv, self.cost_check_log_radius):
+            view = self.index.cell_view(cell)
+            n = len(view)
+            if n == 0:
+                continue
+            g_row, l_row = gl_matrix(view.sv, pts)
+            g, l = g_row[0], l_row[0]
+            gl = g * l
+            budget = self._budget_vector(view)
+            degree = self.bound.degree
+            check = gl if degree == 1.0 else np.array(
+                [v ** degree for v in gl.tolist()], dtype=np.float64
+            )
+            mask = (np.log(gl) <= sel_radius + 1e-12) & (check <= budget)
+            hit = int(np.argmax(mask)) if bool(mask.any()) else -1
+            limit = hit if hit >= 0 else n
+            self.entries_scanned += (hit + 1) if hit >= 0 else n
+            fail = np.flatnonzero(~mask[:limit])
+            keys = gl[fail].tolist()
+            gs = g[fail].tolist()
+            ls = l[fail].tolist()
+            for key, gv, lv, i in zip(keys, gs, ls, fail.tolist()):
+                entry = view.entries[i]
+                if not entry.retired:
+                    candidates.append((key, gv, lv, entry))
+            if hit >= 0:
+                entry = view.entries[hit]
                 return GetPlanDecision(
-                    plan_id=entry.plan_id, check=CheckKind.COST, anchor=entry,
-                    recost_calls=recost_calls, recost_ratio=r, g=g, l=l,
-                )
-
-        return GetPlanDecision(
-            plan_id=None, check=CheckKind.OPTIMIZER, recost_calls=recost_calls
-        )
+                    plan_id=entry.plan_id, check=CheckKind.SELECTIVITY,
+                    anchor=entry, g=float(g[hit]), l=float(l[hit]),
+                ), candidates
+        return None, candidates

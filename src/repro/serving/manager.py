@@ -77,6 +77,13 @@ class ConcurrentPQOManager(PQOManager):
     check_mode: Optional[str] = None
     #: Manager-wide default coverage for probabilistic-mode templates.
     target_coverage: Optional[float] = None
+    #: Manager-wide default getPlan implementation (``"vectorized"`` /
+    #: ``"scalar"``); a per-template ``check_impl=`` kwarg on
+    #: :meth:`register` overrides it.  ``None`` leaves SCR's default
+    #: (vectorized) in force.  Identical decisions either way; the
+    #: vectorized impl additionally unlocks :meth:`submit_batch`'s
+    #: single-pass batch probing.
+    check_impl: Optional[str] = None
     #: Optional unified observability handle (metrics registry, spans,
     #: guarantee audit).  When set, every registered template's engine,
     #: SCR pipeline and shard report into it, and the overload
@@ -134,6 +141,8 @@ class ConcurrentPQOManager(PQOManager):
                 scr_kwargs.setdefault("check_mode", self.check_mode)
             if self.target_coverage is not None:
                 scr_kwargs.setdefault("target_coverage", self.target_coverage)
+            if self.check_impl is not None:
+                scr_kwargs.setdefault("check_impl", self.check_impl)
             state = self._build_state(template, lam, **scr_kwargs)
             # Racy double-misses on one vector must not grow the instance
             # list without bound (see ManageCache.coalesce_identical).
@@ -310,11 +319,18 @@ class ConcurrentPQOManager(PQOManager):
 
         Returns one future per input instance, in input order; duplicate
         instances share the future (and therefore the PlanChoice) of
-        their first occurrence.  Unique instances are dispatched round-
-        robin across templates so independent shards fill the pool
-        instead of convoying on one shard's lock.  ``deadline_seconds``
-        attaches an end-to-end budget to each dispatched instance
-        (starting at its dispatch, not at batch entry).
+        their first occurrence.  ``deadline_seconds`` attaches an
+        end-to-end budget to each dispatched instance (starting at its
+        dispatch, not at batch entry).
+
+        Dispatch shape: without overload protection or deadlines, each
+        template's unique instances go to its shard as **one**
+        matmul-shaped :meth:`TemplateShard.process_batch` task (when the
+        shard's decision procedure supports batching) — the whole group
+        is probed against the cache in a single broadcast pass.
+        Otherwise unique instances are dispatched round-robin across
+        templates so independent shards fill the pool instead of
+        convoying on one shard's lock.
         """
         futures: list[Optional[Future]] = [None] * len(instances)
         per_template: dict[str, list[tuple[int, QueryInstance]]] = {}
@@ -336,7 +352,13 @@ class ConcurrentPQOManager(PQOManager):
             per_template.setdefault(instance.template_name, []).append(
                 (i, instance)
             )
-        queues = [list(reversed(v)) for _, v in sorted(per_template.items())]
+        if self._overload_coordinator is None and deadline_seconds is None:
+            leftovers = self._submit_batched_groups(per_template, futures)
+        else:
+            # Admission control and deadlines are per-instance decisions;
+            # keep the per-instance dispatch for them.
+            leftovers = per_template
+        queues = [list(reversed(v)) for _, v in sorted(leftovers.items())]
         while queues:
             for queue in list(queues):
                 i, instance = queue.pop()
@@ -351,6 +373,77 @@ class ConcurrentPQOManager(PQOManager):
         for i, first in duplicate_of.items():
             futures[i] = futures[first]
         return futures
+
+    def _submit_batched_groups(
+        self,
+        per_template: dict[str, list[tuple[int, QueryInstance]]],
+        futures: list[Optional[Future]],
+    ) -> dict[str, list[tuple[int, QueryInstance]]]:
+        """Dispatch batchable template groups; return the rest.
+
+        A group is batchable when its shard's getPlan supports the
+        broadcast probe and the group has more than one instance (a
+        singleton gains nothing over the ordinary submit path).
+        """
+        leftovers: dict[str, list[tuple[int, QueryInstance]]] = {}
+        for name, items in sorted(per_template.items()):
+            shard = self._shards.get(name)
+            if shard is None:
+                raise KeyError(f"template {name!r} is not registered")
+            if len(items) < 2 or not shard.scr.get_plan.supports_batch:
+                leftovers[name] = items
+                continue
+            futs = [Future() for _ in items]
+            for (i, _), fut in zip(items, futs):
+                futures[i] = fut
+                with self._futures_lock:
+                    self._outstanding.add(fut)
+                fut.add_done_callback(self._forget_outstanding)
+            try:
+                self._executor.submit(
+                    self._run_batch, shard, [inst for _, inst in items], futs
+                )
+            except RuntimeError:
+                # The executor refused: the manager is shutting down.
+                for fut in futs:
+                    with suppress(InvalidStateError):
+                        fut.set_exception(
+                            ShutdownError(
+                                "manager closed before this submission was accepted"
+                            )
+                        )
+        return leftovers
+
+    def _run_batch(
+        self,
+        shard: TemplateShard,
+        instances: list[QueryInstance],
+        futs: list["Future[PlanChoice]"],
+    ) -> None:
+        if self._closed:
+            for fut in futs:
+                with suppress(InvalidStateError):
+                    fut.set_exception(
+                        ShutdownError(
+                            "manager closed before this queued submission was served"
+                        )
+                    )
+            return
+        try:
+            outcomes = shard.process_batch(instances)
+        except BaseException as exc:  # noqa: BLE001 - resolve all futures
+            for fut in futs:
+                with suppress(InvalidStateError):
+                    fut.set_exception(exc)
+            return
+        for fut, outcome in zip(futs, outcomes):
+            if isinstance(outcome, BaseException):
+                with suppress(InvalidStateError):
+                    fut.set_exception(outcome)
+            else:
+                self._note_processed(shard.state)
+                with suppress(InvalidStateError):
+                    fut.set_result(outcome)
 
     def process_many(
         self, instances: Sequence[QueryInstance], dedupe: bool = True

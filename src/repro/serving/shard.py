@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import nullcontext
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..core.get_plan import CheckKind, CheckMode
 from ..core.manager import TemplateState
@@ -155,6 +155,120 @@ class TemplateShard:
                     template=self.state.template.name, seq=seq,
                     outcome=outcome,
                 )
+
+    def process_batch(
+        self,
+        instances: Sequence[QueryInstance],
+        deadline: Optional[Deadline] = None,
+    ) -> list["PlanChoice | BaseException"]:
+        """Serve a batch of instances against one cache snapshot.
+
+        The whole batch is probed lock-free in one broadcasted
+        :meth:`~repro.core.get_plan.GetPlan.probe_batch` pass, then all
+        validated hits commit under a single lock acquisition; misses
+        and invalidated hits resolve through the ordinary per-instance
+        paths (single-flight, optimizer, manageCache).  Failures are
+        isolated per item: the returned list holds, in input order, a
+        :class:`PlanChoice` or the exception that instance raised.
+
+        The batched pass is a plain throughput optimization over one
+        snapshot — it does not interleave commits between batch rows, so
+        a miss earlier in the batch does not seed a hit for a later row
+        the way sequential submission might.  With overload protection
+        or a deadline in force (admission decisions are per instance),
+        or under a decision procedure without batch support, it degrades
+        to a :meth:`process` loop with the same per-item isolation.
+        """
+        if (
+            self._overload is not None
+            or deadline is not None
+            or not self.scr.get_plan.supports_batch
+        ):
+            results: list[PlanChoice | BaseException] = []
+            for instance in instances:
+                try:
+                    results.append(self.process(instance, deadline=deadline))
+                except BaseException as exc:  # noqa: BLE001 - per-item isolation
+                    results.append(exc)
+            return results
+        return self._process_batch_fast(instances)
+
+    def _process_batch_fast(
+        self, instances: Sequence[QueryInstance]
+    ) -> list["PlanChoice | BaseException"]:
+        start = self.clock.perf_counter()
+        scr = self.scr
+        seqs: list[int] = []
+        svs: list[AnySelectivityVector] = []
+        degraded: list[bool] = []
+        results: list[PlanChoice | BaseException] = [None] * len(instances)  # type: ignore[list-item]
+        for instance in instances:
+            with self._seq_lock:
+                seq = self._next_seq
+                self._next_seq += 1
+            seqs.append(seq)
+            self.engine.begin_instance(seq)
+            sv, deg = self._selectivity_vector(instance)
+            if self.robust and isinstance(sv, UncertainSelectivityVector):
+                self.stats.note_interval_width(sv.total_log_width)
+            svs.append(sv)
+            degraded.append(deg)
+        snapshot = scr.cache.snapshot()
+        decisions = scr.get_plan.probe_batch(
+            svs, self._recost, entries=snapshot.entries
+        )
+        misses: list[int] = []
+        retries: list[int] = []
+        acquired_at = self.clock.perf_counter()
+        with self.lock:
+            self.stats.add_lock_wait(self.clock.perf_counter() - acquired_at)
+            for i, decision in enumerate(decisions):
+                if not decision.hit:
+                    misses.append(i)
+                elif self._commit_valid(decision, snapshot):
+                    scr.get_plan.commit(decision)
+                    results[i] = self._finish_locked(scr._hit_choice(decision))
+                else:
+                    retries.append(i)
+        for i in retries:
+            # Anchor vanished between probe and commit: same re-probe the
+            # single-instance path runs after a failed validation.
+            self.stats.note_epoch_retry()
+            if self.trace is not None:
+                self.trace.serving("epoch_retry", scr.instances_processed)
+            try:
+                results[i] = self._serve(svs[i], depth=1)
+            except BaseException as exc:  # noqa: BLE001 - per-item isolation
+                results[i] = exc
+        for i in misses:
+            try:
+                results[i] = self._miss(svs[i], decisions[i], depth=0)
+            except BaseException as exc:  # noqa: BLE001 - per-item isolation
+                results[i] = exc
+        obs = self._obs
+        for i, outcome in enumerate(results):
+            if isinstance(outcome, BaseException):
+                span_outcome = "shed"
+            else:
+                if degraded[i]:
+                    # Stale sVector fallback: nothing was certified.
+                    outcome.certified = False
+                span_outcome = (
+                    "certified" if outcome.certified else "uncertified"
+                )
+                self.stats.observe(
+                    self.clock.perf_counter() - start,
+                    outcome.check, outcome.certified,
+                    certificate=outcome.certificate,
+                )
+            if obs is not None and obs.spans.enabled:
+                obs.spans.record(
+                    "serving.process", start,
+                    self.clock.perf_counter() - start,
+                    template=self.state.template.name, seq=seqs[i],
+                    outcome=span_outcome, batched=True,
+                )
+        return results
 
     def _process_inner(
         self,

@@ -1,0 +1,325 @@
+"""Property tests for the columnar instance store and its kernels.
+
+Three invariant families, all driven by Hypothesis:
+
+* **kernel parity** — the vectorized G·L (and corner G·L) of every
+  (point, anchor) pair is bit-identical to the scalar reference, so the
+  vectorized row minimum equals the scalar per-instance minimum;
+* **view consistency** — after an arbitrary sequence of cache
+  operations (add plan / add instance / drop plan / retire), the
+  columnar view's arrays always mirror the snapshot's entry tuple
+  field for field, and copy-on-write hands out the same view object
+  between mutations;
+* **batch ≡ sequential** — ``probe_batch`` returns exactly the
+  decisions of a sequential ``probe`` loop over the same snapshot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import adversarial_corner, compute_gl
+from repro.core.columnar import corner_gl_matrix, gl_matrix
+from repro.core.get_plan import GetPlan
+from repro.core.plan_cache import CachedPlan, InstanceEntry, PlanCache
+from repro.query.instance import (
+    SelectivityVector,
+    UncertainSelectivityVector,
+)
+
+selectivities = st.floats(
+    min_value=1e-6, max_value=1.0,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+def sv_lists(dims: int):
+    return st.lists(selectivities, min_size=dims, max_size=dims)
+
+
+class _StubMemo:
+    node_count = 1
+
+
+def _cache_with(svs: list[list[float]]) -> PlanCache:
+    cache = PlanCache()
+    plan = CachedPlan(
+        plan_id=0, signature="p0", plan=None, shrunken_memo=_StubMemo()
+    )
+    cache._plans[0] = plan
+    cache._by_signature["p0"] = 0
+    cache._next_plan_id = 1
+    cache._mutated()
+    for i, values in enumerate(svs):
+        cache.add_instance(
+            InstanceEntry(
+                sv=SelectivityVector.from_sequence(values),
+                plan_id=0,
+                optimal_cost=100.0 + i,
+                suboptimality=1.0 + (i % 5) / 10.0,
+            )
+        )
+    return cache
+
+
+# -- kernel parity ------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    data=st.data(),
+    dims=st.integers(min_value=1, max_value=8),
+)
+def test_gl_matrix_is_bit_identical_to_scalar(data, dims):
+    anchors = data.draw(st.lists(sv_lists(dims), min_size=1, max_size=12))
+    point_vals = data.draw(sv_lists(dims))
+    point = SelectivityVector.from_sequence(point_vals)
+    sv_mat = np.array(anchors, dtype=np.float64)
+    g_m, l_m = gl_matrix(sv_mat, np.array([point_vals], dtype=np.float64))
+    for row, anchor_vals in enumerate(anchors):
+        anchor = SelectivityVector.from_sequence(anchor_vals)
+        g, l = compute_gl(anchor, point)
+        assert g_m[0, row] == g
+        assert l_m[0, row] == l
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    data=st.data(),
+    dims=st.integers(min_value=1, max_value=6),
+)
+def test_corner_gl_matrix_matches_adversarial_corner(data, dims):
+    anchors = data.draw(st.lists(sv_lists(dims), min_size=1, max_size=10))
+    point_vals = data.draw(sv_lists(dims))
+    widen = data.draw(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.2, max_value=1.0, allow_nan=False),
+                st.floats(min_value=1.0, max_value=5.0, allow_nan=False),
+            ),
+            min_size=dims, max_size=dims,
+        )
+    )
+    lo_vals = [max(1e-6, p * w[0]) for p, w in zip(point_vals, widen)]
+    hi_vals = [min(1.0, max(p, p * w[1])) for p, w in zip(point_vals, widen)]
+    lo_vals = [min(lo, p) for lo, p in zip(lo_vals, point_vals)]
+    box = UncertainSelectivityVector(
+        point=SelectivityVector.from_sequence(point_vals),
+        lo=SelectivityVector.from_sequence(lo_vals),
+        hi=SelectivityVector.from_sequence(hi_vals),
+    )
+    sv_mat = np.array(anchors, dtype=np.float64)
+    gc_m, lc_m = corner_gl_matrix(
+        sv_mat,
+        np.array([lo_vals], dtype=np.float64),
+        np.array([hi_vals], dtype=np.float64),
+    )
+    for row, anchor_vals in enumerate(anchors):
+        anchor = SelectivityVector.from_sequence(anchor_vals)
+        corner = adversarial_corner(anchor, box)
+        gc, lc = compute_gl(anchor, corner)
+        assert gc_m[0, row] == gc
+        assert lc_m[0, row] == lc
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=st.data(), dims=st.integers(min_value=1, max_value=6))
+def test_vectorized_row_min_equals_scalar_min(data, dims):
+    anchors = data.draw(st.lists(sv_lists(dims), min_size=1, max_size=15))
+    point_vals = data.draw(sv_lists(dims))
+    point = SelectivityVector.from_sequence(point_vals)
+    sv_mat = np.array(anchors, dtype=np.float64)
+    g_m, l_m = gl_matrix(sv_mat, np.array([point_vals], dtype=np.float64))
+    vec_min = float((g_m[0] * l_m[0]).min())
+    scalar_products = []
+    for anchor_vals in anchors:
+        g, l = compute_gl(SelectivityVector.from_sequence(anchor_vals), point)
+        scalar_products.append(g * l)
+    assert vec_min == min(scalar_products)
+
+
+# -- view consistency over arbitrary op sequences -----------------------------
+
+
+cache_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add_plan"), st.integers(0, 1_000_000)),
+        st.tuples(st.just("add_instance"), st.integers(0, 1_000_000)),
+        st.tuples(st.just("drop_plan"), st.integers(0, 30)),
+        st.tuples(st.just("retire"), st.integers(0, 200)),
+        st.tuples(st.just("probe_view"), st.just(0)),
+    ),
+    min_size=1, max_size=40,
+)
+
+
+def _assert_view_consistent(cache: PlanCache) -> None:
+    snap = cache.snapshot()
+    view = cache.columnar()
+    assert view.epoch == snap.epoch == cache.epoch
+    assert view.entries is snap.entries
+    assert len(view) == len(snap.entries)
+    for i, entry in enumerate(snap.entries):
+        assert tuple(view.sv[i]) == entry.sv.values
+        assert view.sub[i] == entry.suboptimality
+        assert view.cost[i] == entry.optimal_cost
+        assert int(view.plan_ids[i]) == entry.plan_id
+        assert view.area[i] == entry.sv_product
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=cache_ops, seed=st.integers(0, 2**16))
+def test_columnar_view_tracks_cache_through_op_sequences(ops, seed):
+    import random
+
+    rng = random.Random(seed)
+    cache = PlanCache()
+    next_sig = [0]
+
+    def ensure_plan() -> int:
+        if not cache._plans:
+            plan = CachedPlan(
+                plan_id=cache._next_plan_id,
+                signature=f"s{next_sig[0]}",
+                plan=None,
+                shrunken_memo=_StubMemo(),
+            )
+            next_sig[0] += 1
+            cache._plans[plan.plan_id] = plan
+            cache._by_signature[plan.signature] = plan.plan_id
+            cache._next_plan_id += 1
+            cache._mutated()
+        return rng.choice(list(cache._plans))
+
+    for op, arg in ops:
+        if op == "add_plan":
+            plan = CachedPlan(
+                plan_id=cache._next_plan_id,
+                signature=f"s{next_sig[0]}",
+                plan=None,
+                shrunken_memo=_StubMemo(),
+            )
+            next_sig[0] += 1
+            cache._plans[plan.plan_id] = plan
+            cache._by_signature[plan.signature] = plan.plan_id
+            cache._next_plan_id += 1
+            cache._mutated()
+        elif op == "add_instance":
+            plan_id = ensure_plan()
+            sv = SelectivityVector.from_sequence(
+                [10 ** rng.uniform(-4, 0) for _ in range(3)]
+            )
+            cache.add_instance(
+                InstanceEntry(
+                    sv=sv, plan_id=plan_id,
+                    optimal_cost=float(arg % 997 + 1),
+                    suboptimality=1.0 + (arg % 7) / 10.0,
+                )
+            )
+        elif op == "drop_plan":
+            if cache._plans:
+                victim = sorted(cache._plans)[arg % len(cache._plans)]
+                cache.drop_plan(victim)
+        elif op == "retire":
+            entries = list(cache.instances())
+            if entries:
+                entries[arg % len(entries)].retired = True
+        else:  # probe_view: exercise COW identity between mutations
+            before = cache.columnar()
+            assert cache.columnar() is before
+        _assert_view_consistent(cache)
+    _assert_view_consistent(cache)
+
+
+def test_columnar_view_identity_is_stable_between_mutations():
+    cache = _cache_with([[0.1, 0.2], [0.3, 0.4]])
+    view = cache.columnar()
+    assert cache.columnar() is view
+    # Retiring flips a flag without an epoch bump: view object unchanged
+    # (the flag is read live off the entries, never from the arrays).
+    next(iter(cache.instances())).retired = True
+    assert cache.columnar() is view
+    # A structural mutation invalidates it.
+    cache.add_instance(
+        InstanceEntry(
+            sv=SelectivityVector.of(0.5, 0.5), plan_id=0,
+            optimal_cost=1.0, suboptimality=1.0,
+        )
+    )
+    assert cache.columnar() is not view
+    _ = cache.columnar()
+
+
+def test_empty_cache_columnar_view():
+    cache = PlanCache()
+    view = cache.columnar()
+    assert len(view) == 0
+    assert view.sv.shape[0] == 0
+
+
+# -- probe_batch ≡ sequential probe loop --------------------------------------
+
+
+def _recost(memo, point: SelectivityVector) -> float:
+    return 75.0 + hash(point.values) % 500
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.data(),
+    dims=st.integers(min_value=1, max_value=5),
+)
+def test_probe_batch_equals_sequential_probes(data, dims):
+    anchors = data.draw(st.lists(sv_lists(dims), min_size=0, max_size=20))
+    points = data.draw(st.lists(sv_lists(dims), min_size=0, max_size=30))
+    cache = _cache_with(anchors)
+    batch_gp = GetPlan(cache=cache, lam=1.7, check_impl="vectorized")
+    seq_gp = GetPlan(cache=cache, lam=1.7, check_impl="vectorized")
+    svs = [SelectivityVector.from_sequence(p) for p in points]
+    batch = batch_gp.probe_batch(svs, _recost)
+    sequential = [seq_gp.probe(sv, _recost) for sv in svs]
+    assert len(batch) == len(sequential)
+    for db, ds in zip(batch, sequential):
+        assert db.check == ds.check
+        assert db.plan_id == ds.plan_id
+        assert db.anchor is ds.anchor
+        assert db.recost_calls == ds.recost_calls
+        assert db.g == ds.g and db.l == ds.l
+        assert db.bound_value == ds.bound_value
+    assert batch_gp.entries_scanned == seq_gp.entries_scanned
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_probe_batch_equals_sequential_probes_robust(data):
+    dims = 3
+    anchors = data.draw(st.lists(sv_lists(dims), min_size=1, max_size=12))
+    points = data.draw(st.lists(sv_lists(dims), min_size=1, max_size=15))
+    cache = _cache_with(anchors)
+    batch_gp = GetPlan(
+        cache=cache, lam=1.7, check_mode="robust", check_impl="vectorized"
+    )
+    seq_gp = GetPlan(
+        cache=cache, lam=1.7, check_mode="robust", check_impl="vectorized"
+    )
+    svs = []
+    for p in points:
+        lo = [max(1e-6, v * 0.5) for v in p]
+        hi = [min(1.0, v * 1.5) for v in p]
+        svs.append(
+            UncertainSelectivityVector(
+                point=SelectivityVector.from_sequence(p),
+                lo=SelectivityVector.from_sequence(lo),
+                hi=SelectivityVector.from_sequence(hi),
+            )
+        )
+    batch = batch_gp.probe_batch(svs, _recost)
+    sequential = [seq_gp.probe(sv, _recost) for sv in svs]
+    for db, ds in zip(batch, sequential):
+        assert db.check == ds.check
+        assert db.plan_id == ds.plan_id
+        assert db.anchor is ds.anchor
+        assert db.bound_value == ds.bound_value
+        assert db.certificate == ds.certificate

@@ -17,9 +17,13 @@ import io
 import json
 from pathlib import Path
 
+import pytest
+
+from repro.core.get_plan import CHECK_IMPLS
 from repro.obs import (
     FakeClock,
     MetricsRegistry,
+    Observability,
     SpanRecorder,
     to_prometheus,
     write_spans_jsonl,
@@ -27,6 +31,9 @@ from repro.obs import (
 
 PROM_FIXTURE = Path(__file__).parent / "fixtures" / "golden_metrics.prom"
 SPANS_FIXTURE = Path(__file__).parent / "fixtures" / "golden_spans.jsonl"
+SCR_METRICS_FIXTURE = (
+    Path(__file__).parent / "fixtures" / "golden_scr_metrics.prom"
+)
 
 
 def build_golden_registry() -> MetricsRegistry:
@@ -91,6 +98,58 @@ def render_spans() -> str:
     return buffer.getvalue()
 
 
+def _strip_wall_clock_families(prom: str) -> str:
+    """Drop metric families whose sample values embed real wall-clock
+    durations (``*_seconds*``): the engine times calls with
+    ``time.perf_counter`` so their sums/buckets vary run to run, while
+    every other family (outcomes, certificates, certified bounds,
+    violations, faults, breaker state) is decision-determined."""
+    out: list[str] = []
+    skip = False
+    for line in prom.splitlines(keepends=True):
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            skip = "_seconds" in line.split()[2]
+        if not skip:
+            out.append(line)
+    return "".join(out)
+
+
+def build_golden_scr_metrics(check_impl: str = "scalar") -> str:
+    """Metrics exposition of the canonical serial SCR run.
+
+    Companion to ``test_trace_golden.build_golden_trace``: the same
+    40-instance workload, but observed through an
+    :class:`Observability` handle so the guarantee-audit metric
+    families become part of the golden contract.  Both check
+    implementations must render the identical exposition.
+    """
+    from conftest import build_toy_schema
+    from test_trace_golden import canonical_template
+
+    from repro.core.scr import SCR
+    from repro.engine.database import Database
+    from repro.query.instance import QueryInstance
+    from repro.workload.generator import generate_selectivity_vectors
+
+    db = Database.create(build_toy_schema(), seed=11)
+    template = canonical_template()
+    engine = db.engine(template)
+    obs = Observability(clock=FakeClock().clock, spans_enabled=False)
+    scr = SCR(
+        engine, lam=2.0, plan_budget=3, obs=obs, check_impl=check_impl
+    )
+    for sv in generate_selectivity_vectors(2, 40, seed=21):
+        scr.process(QueryInstance(template.name, sv=sv))
+    # The engine object is cached per database: detach the instruments
+    # so later builds (or other tests reusing the toy db) start clean.
+    base = engine
+    while getattr(base, "inner", None) is not None:
+        base = base.inner
+    base.obs = None
+    base.instruments = None
+    return _strip_wall_clock_families(to_prometheus(obs.registry))
+
+
 def test_prometheus_exposition_matches_golden_fixture():
     rendered = to_prometheus(build_golden_registry())
     expected = PROM_FIXTURE.read_text(encoding="utf-8")
@@ -136,6 +195,31 @@ def test_spans_jsonl_schema():
     ]
 
 
+@pytest.mark.parametrize("check_impl", CHECK_IMPLS)
+def test_scr_metrics_match_golden_fixture(check_impl):
+    """One fixture, both check implementations — the columnar hot path
+    must leave every decision-determined metric byte-identical."""
+    assert SCR_METRICS_FIXTURE.exists(), (
+        f"missing fixture {SCR_METRICS_FIXTURE}; regenerate with "
+        "`PYTHONPATH=src:tests python tests/test_obs_golden.py --regen`"
+    )
+    expected = SCR_METRICS_FIXTURE.read_text(encoding="utf-8")
+    actual = build_golden_scr_metrics(check_impl)
+    assert actual == expected, (
+        f"SCR metrics exposition (check_impl={check_impl!r}) drifted "
+        "from the golden fixture; regenerate only for intentional "
+        "metric-contract changes"
+    )
+
+
+def test_scr_metrics_golden_has_zero_lambda_violations():
+    text = build_golden_scr_metrics("vectorized")
+    assert "repro_lambda_violations_total" in text
+    for line in text.splitlines():
+        if line.startswith("repro_lambda_violations_total{"):
+            assert line.rsplit(" ", 1)[1] == "0"
+
+
 def test_spans_jsonl_without_timing_is_reproducible():
     buffer = io.StringIO()
     write_spans_jsonl(build_golden_spans(), buffer, include_timing=False)
@@ -149,8 +233,12 @@ def _regen() -> None:
         to_prometheus(build_golden_registry()), encoding="utf-8"
     )
     SPANS_FIXTURE.write_text(render_spans(), encoding="utf-8")
+    SCR_METRICS_FIXTURE.write_text(
+        build_golden_scr_metrics(), encoding="utf-8"
+    )
     print(f"wrote {PROM_FIXTURE}")
     print(f"wrote {SPANS_FIXTURE}")
+    print(f"wrote {SCR_METRICS_FIXTURE}")
 
 
 if __name__ == "__main__":

@@ -18,6 +18,9 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+import pytest
+
+from repro.core.get_plan import CHECK_IMPLS
 from repro.core.scr import SCR
 from repro.engine.database import Database
 from repro.engine.tracing import TraceLog
@@ -41,7 +44,7 @@ def canonical_template() -> QueryTemplate:
     )
 
 
-def build_golden_trace() -> list[dict]:
+def build_golden_trace(check_impl: str = "scalar") -> list[dict]:
     """The canonical run: one template, 40 seeded instances, budget 3."""
     from conftest import build_toy_schema
 
@@ -50,7 +53,7 @@ def build_golden_trace() -> list[dict]:
     trace = TraceLog()
     engine = db.engine(template)
     engine.trace = trace
-    scr = SCR(engine, lam=2.0, plan_budget=3, trace=trace)
+    scr = SCR(engine, lam=2.0, plan_budget=3, trace=trace, check_impl=check_impl)
     for sv in generate_selectivity_vectors(2, 40, seed=21):
         scr.process(QueryInstance(template.name, sv=sv))
     engine.trace = None  # the engine object is cached per database
@@ -61,18 +64,26 @@ def serialize(rows: list[dict]) -> str:
     return json.dumps(rows, indent=1, sort_keys=True) + "\n"
 
 
-def test_serial_trace_matches_golden_fixture():
+@pytest.mark.parametrize("check_impl", CHECK_IMPLS)
+def test_serial_trace_matches_golden_fixture(check_impl):
+    """Both check implementations must reproduce the SAME fixture.
+
+    The columnar hot path is a pure re-implementation of the scalar
+    check, so the scalar-era golden trace is the oracle for both: any
+    byte of drift under ``check_impl="vectorized"`` is a semantic bug,
+    not grounds for a second fixture.
+    """
     assert FIXTURE.exists(), (
         f"missing fixture {FIXTURE}; regenerate with "
         "`PYTHONPATH=src:tests python tests/test_trace_golden.py --regen`"
     )
     expected = FIXTURE.read_text()
-    actual = serialize(build_golden_trace())
+    actual = serialize(build_golden_trace(check_impl))
     assert actual == expected, (
-        "serial SCR trace drifted from the golden fixture — if the "
-        "change is intentional, regenerate the fixture (see module "
-        "docstring); if not, a concurrency refactor just changed serial "
-        "semantics"
+        f"serial SCR trace (check_impl={check_impl!r}) drifted from the "
+        "golden fixture — if the change is intentional, regenerate the "
+        "fixture (see module docstring); if not, a refactor just changed "
+        "serial semantics"
     )
 
 

@@ -1,0 +1,345 @@
+"""Differential suite: vectorized getPlan ≡ scalar getPlan, bit for bit.
+
+The columnar hot path (``check_impl="vectorized"``) promises *identical
+decisions* to the scalar reference — same check kind, same chosen plan,
+same anchor object, same certificate kind, coverage and bound value,
+same recost-call count, and the same scan accounting.  This suite
+drives both implementations over seeded random workloads in all three
+check modes (point / robust / probabilistic), including degraded
+(widened) boxes, coverage-shrunk boxes and retired-entry handling, and
+fails on the first divergence.
+
+The equivalence is exact, not approximate: the vectorized kernels
+replay the scalar IEEE-754 operation sequence (see
+:mod:`repro.core.columnar`), so every comparison below uses ``==`` on
+floats deliberately.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bounds import LINEAR_BOUND, QUADRATIC_BOUND
+from repro.core.dynamic_lambda import DynamicLambda
+from repro.core.get_plan import CandidateOrder, GetPlan
+from repro.core.plan_cache import CachedPlan, InstanceEntry, PlanCache
+from repro.core.scr import SCR
+from repro.engine.database import Database
+from repro.query.instance import (
+    QueryInstance,
+    SelectivityVector,
+    UncertainSelectivityVector,
+)
+from repro.query.template import QueryTemplate, join, range_predicate
+from repro.workload.generator import generate_selectivity_vectors
+
+
+class _StubMemo:
+    node_count = 1
+
+
+def build_cache(rng: random.Random, n: int, d: int,
+                retire_fraction: float = 0.15) -> PlanCache:
+    """A synthetic plan cache with ``n`` instances over ``d`` dims."""
+    cache = PlanCache()
+    for i in range(max(1, n // 4)):
+        plan = CachedPlan(
+            plan_id=cache._next_plan_id, signature=f"p{i}", plan=None,
+            shrunken_memo=_StubMemo(),
+        )
+        cache._plans[plan.plan_id] = plan
+        cache._by_signature[plan.signature] = plan.plan_id
+        cache._next_plan_id += 1
+        cache._mutated()
+    plan_ids = list(cache._plans)
+    for _ in range(n):
+        sv = SelectivityVector.from_sequence(
+            [10 ** rng.uniform(-4, 0) for _ in range(d)]
+        )
+        entry = InstanceEntry(
+            sv=sv,
+            plan_id=rng.choice(plan_ids),
+            optimal_cost=rng.uniform(10.0, 1e4),
+            suboptimality=rng.uniform(1.0, 1.5),
+            usage=rng.randint(1, 20),
+        )
+        if rng.random() < retire_fraction:
+            entry.retired = True
+        cache.add_instance(entry)
+    return cache
+
+
+def make_recost(seed: int):
+    """A deterministic stand-in for the engine's Recost API."""
+
+    def recost(memo, point: SelectivityVector) -> float:
+        return 50.0 + hash((seed, point.values)) % 1000
+
+    return recost
+
+
+def random_input(rng: random.Random, d: int, boxed: bool):
+    point = [10 ** rng.uniform(-4, 0) for _ in range(d)]
+    if not boxed:
+        return SelectivityVector.from_sequence(point)
+    usv = UncertainSelectivityVector(
+        point=SelectivityVector.from_sequence(point),
+        lo=SelectivityVector.from_sequence(
+            [p * rng.uniform(0.4, 1.0) for p in point]
+        ),
+        hi=SelectivityVector.from_sequence(
+            [min(1.0, p * rng.uniform(1.0, 2.5)) for p in point]
+        ),
+    )
+    roll = rng.random()
+    if roll < 0.25:
+        # Degraded-read shape: conservatively widened box.
+        return usv.widened(rng.uniform(1.0, 2.0))
+    if roll < 0.5:
+        # Probabilistic shape: box shrunk to a sub-1 coverage claim.
+        return usv.for_coverage(rng.uniform(0.5, 0.99))
+    if roll < 0.6:
+        # Exactly-known selectivities: zero-width box.
+        return UncertainSelectivityVector.exact(
+            SelectivityVector.from_sequence(point)
+        )
+    return usv
+
+
+def assert_decisions_identical(ds, dv, context: str) -> None:
+    assert ds.check == dv.check, context
+    assert ds.plan_id == dv.plan_id, context
+    assert ds.anchor is dv.anchor, context
+    assert ds.recost_calls == dv.recost_calls, context
+    assert ds.recost_ratio == dv.recost_ratio, context
+    assert ds.g == dv.g and ds.l == dv.l, context
+    assert ds.bound_value == dv.bound_value, context
+    assert ds.certificate == dv.certificate, context
+    assert ds.coverage == dv.coverage, context
+
+
+@pytest.mark.parametrize("check_mode", ["point", "robust", "probabilistic"])
+@pytest.mark.parametrize(
+    "order", [CandidateOrder.GL, CandidateOrder.AREA, CandidateOrder.USAGE]
+)
+def test_differential_random_workloads(check_mode, order):
+    rng = random.Random(hash((check_mode, order.value)) % (2**31))
+    for round_no in range(4):
+        d = rng.choice([2, 4, 7])
+        cache = build_cache(rng, rng.choice([0, 1, 17, 90]), d)
+        lam_for = rng.choice([None, DynamicLambda(1.1, 3.0, 500.0)])
+        common = dict(
+            cache=cache, lam=rng.uniform(1.2, 2.5), check_mode=check_mode,
+            candidate_order=order, lambda_for=lam_for,
+            bound=rng.choice([LINEAR_BOUND, QUADRATIC_BOUND]),
+            max_recost_candidates=rng.choice([0, 2, 8]),
+            target_coverage=rng.choice([0.8, 0.95]),
+        )
+        scalar = GetPlan(check_impl="scalar", **common)
+        vectorized = GetPlan(check_impl="vectorized", **common)
+        recost = make_recost(round_no)
+        for t in range(150):
+            boxed = check_mode != "point" and rng.random() < 0.7
+            sv = random_input(rng, d, boxed)
+            context = f"{check_mode}/{order.value} round={round_no} t={t}"
+            ds = scalar.probe(sv, recost)
+            dv = vectorized.probe(sv, recost)
+            assert_decisions_identical(ds, dv, context)
+            if rng.random() < 0.05 and cache.num_instances:
+                # Flip a retired bit mid-stream (no epoch bump), the way
+                # the Appendix G detector does: both impls must read the
+                # flag live.
+                entry = rng.choice(list(cache.instances()))
+                entry.retired = not entry.retired
+        assert scalar.entries_scanned == vectorized.entries_scanned
+
+
+@pytest.mark.parametrize("check_mode", ["point", "robust", "probabilistic"])
+def test_differential_per_call_overrides(check_mode):
+    """max_recost and coverage per-call overrides match too."""
+    rng = random.Random(99)
+    cache = build_cache(rng, 60, 3)
+    scalar = GetPlan(
+        cache=cache, lam=1.5, check_mode=check_mode, check_impl="scalar"
+    )
+    vectorized = GetPlan(
+        cache=cache, lam=1.5, check_mode=check_mode, check_impl="vectorized"
+    )
+    recost = make_recost(5)
+    for t in range(120):
+        sv = random_input(rng, 3, check_mode != "point")
+        max_recost = rng.choice([None, 0, 1])
+        coverage = rng.choice([None, 0.6, 0.9])
+        ds = scalar.probe(sv, recost, max_recost=max_recost, coverage=coverage)
+        dv = vectorized.probe(
+            sv, recost, max_recost=max_recost, coverage=coverage
+        )
+        assert_decisions_identical(ds, dv, f"{check_mode} t={t}")
+
+
+def test_differential_explicit_entry_subsets():
+    """Probing an explicit entry list (the snapshot path) matches."""
+    rng = random.Random(4)
+    cache = build_cache(rng, 40, 3)
+    scalar = GetPlan(cache=cache, lam=1.6, check_impl="scalar")
+    vectorized = GetPlan(cache=cache, lam=1.6, check_impl="vectorized")
+    recost = make_recost(1)
+    all_entries = list(cache.instances())
+    for t in range(60):
+        subset = tuple(
+            e for e in all_entries if rng.random() < 0.5
+        )
+        sv = random_input(rng, 3, False)
+        ds = scalar.probe(sv, recost, entries=subset)
+        dv = vectorized.probe(sv, recost, entries=subset)
+        assert_decisions_identical(ds, dv, f"subset t={t}")
+
+
+def _toy_template() -> QueryTemplate:
+    return QueryTemplate(
+        name="diff_join",
+        database="toy",
+        tables=["orders", "cust"],
+        joins=[join("orders", "o_cust", "cust", "c_id")],
+        parameterized=[
+            range_predicate("orders", "o_date", "<="),
+            range_predicate("cust", "c_bal", "<="),
+        ],
+    )
+
+
+@pytest.mark.parametrize("check_mode", ["point", "robust", "probabilistic"])
+def test_differential_full_scr_pipeline(check_mode):
+    """Two complete SCR stacks (scalar vs vectorized) over one workload
+    agree on every choice and end with identical cache shapes."""
+    from conftest import build_toy_schema
+
+    choices = {}
+    for impl in ("scalar", "vectorized"):
+        db = Database.create(build_toy_schema(), seed=13)
+        engine = db.engine(_toy_template())
+        scr = SCR(
+            engine, lam=2.0, plan_budget=4, check_mode=check_mode,
+            check_impl=impl,
+        )
+        rows = []
+        for sv in generate_selectivity_vectors(2, 60, seed=31):
+            choice = scr.process(QueryInstance("diff_join", sv=sv))
+            rows.append(
+                (
+                    choice.check, choice.plan_signature, choice.certified,
+                    choice.certificate, choice.coverage,
+                    choice.certified_bound, choice.recost_calls,
+                )
+            )
+        rows.append(("plans", scr.cache.num_plans, scr.cache.num_instances,
+                     scr.optimizer_calls, scr.get_plan.total_recost_calls))
+        choices[impl] = rows
+    assert choices["scalar"] == choices["vectorized"]
+
+
+def test_vectorized_serving_has_zero_live_lambda_violations():
+    """An obs-instrumented vectorized run certifies within λ throughout."""
+    from conftest import build_toy_schema
+
+    from repro.obs import Observability
+
+    db = Database.create(build_toy_schema(), seed=17)
+    engine = db.engine(_toy_template())
+    obs = Observability()
+    scr = SCR(engine, lam=2.0, plan_budget=4, obs=obs, check_impl="vectorized")
+    for sv in generate_selectivity_vectors(2, 80, seed=41):
+        scr.process(QueryInstance("diff_join", sv=sv))
+    assert obs.audit.total_violations == 0
+
+
+def test_scalar_fallback_when_requested():
+    cache = PlanCache()
+    gp = GetPlan(cache=cache, lam=2.0, check_impl="scalar")
+    assert not gp.vectorized
+    assert not gp.supports_batch
+    with pytest.raises(ValueError):
+        GetPlan(cache=cache, lam=2.0, check_impl="simd")
+
+
+def test_recost_and_optimizer_call_counts_are_pinned():
+    """Regression pin for the candidate-ordering hot path.
+
+    The G·L order key is computed once per candidate in the selectivity
+    phase and reused by the cost phase's sort; re-deriving it (or any
+    ordering drift) changes which anchors get recosted and therefore
+    these exact counts.  Both implementations must land on the same
+    pinned numbers for the canonical seeded workload.
+    """
+    from conftest import build_toy_schema
+
+    counts = {}
+    for impl in ("scalar", "vectorized"):
+        db = Database.create(build_toy_schema(), seed=13)
+        engine = db.engine(_toy_template())
+        scr = SCR(engine, lam=1.3, plan_budget=3, max_recost_candidates=2,
+                  check_impl=impl)
+        for sv in generate_selectivity_vectors(2, 50, seed=7):
+            scr.process(QueryInstance("diff_join", sv=sv))
+        counts[impl] = (
+            scr.optimizer_calls,
+            scr.get_plan.total_recost_calls,
+            scr.get_plan.selectivity_hits,
+            scr.get_plan.cost_hits,
+            scr.get_plan.misses,
+            scr.get_plan.entries_scanned,
+        )
+    assert counts["scalar"] == counts["vectorized"]
+    pinned = counts["vectorized"]
+    assert pinned == PINNED_CANONICAL_COUNTS, (
+        f"canonical workload call counts drifted: {pinned} != "
+        f"{PINNED_CANONICAL_COUNTS}; an intentional decision-procedure "
+        "change must update this pin alongside the golden trace"
+    )
+
+
+#: (optimizer_calls, total_recost_calls, selectivity_hits, cost_hits,
+#: misses, entries_scanned) for the canonical seeded run above.
+PINNED_CANONICAL_COUNTS = (29, 74, 5, 16, 29, 463)  # set by regeneration below
+
+
+def _regen_pin() -> None:
+    import re
+    from pathlib import Path
+
+    from conftest import build_toy_schema
+
+    db = Database.create(build_toy_schema(), seed=13)
+    engine = db.engine(_toy_template())
+    scr = SCR(engine, lam=1.3, plan_budget=3, max_recost_candidates=2,
+              check_impl="vectorized")
+    for sv in generate_selectivity_vectors(2, 50, seed=7):
+        scr.process(QueryInstance("diff_join", sv=sv))
+    pinned = (
+        scr.optimizer_calls,
+        scr.get_plan.total_recost_calls,
+        scr.get_plan.selectivity_hits,
+        scr.get_plan.cost_hits,
+        scr.get_plan.misses,
+        scr.get_plan.entries_scanned,
+    )
+    path = Path(__file__)
+    text = path.read_text()
+    text = re.sub(
+        r"PINNED_CANONICAL_COUNTS = \([0-9, ]+\)",
+        f"PINNED_CANONICAL_COUNTS = {pinned}",
+        text,
+    )
+    path.write_text(text)
+    print(f"pinned {pinned}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen_pin()
+    else:
+        print(__doc__)
