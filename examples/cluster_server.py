@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Fault-tolerant cluster demo: worker processes die, guarantees don't.
+
+Boots the multi-process serving tier from :mod:`repro.cluster`:
+
+* a supervisor spawns worker processes, each running the full
+  single-process stack (``ConcurrentPQOManager`` over resilient
+  engines) for *every* template, with requests routed to owners by
+  consistent hashing;
+* workers publish checksummed cache snapshots; a restarted worker
+  warm-starts from the latest snapshot instead of re-paying the
+  optimizer calls its predecessor already made;
+* a seeded :class:`ProcessFaultInjector` kills workers mid-workload
+  (plus heartbeat stalls, snapshot corruption and slow restarts); the
+  supervisor detects death by missed heartbeat, restarts with capped
+  backoff, and re-routes in-flight requests to ring peers so every
+  submitted future still resolves.
+
+The run ends with the cluster report: exactly one outcome per request
+(certified / uncertified / shed), zero λ-violations, and the fleet
+table showing restarts and warm-start counts.
+
+Run:  python examples/cluster_server.py [--workers N] [--seed S]
+"""
+
+import argparse
+import tempfile
+import time
+
+from repro.cluster import ClusterSupervisor, ProcessFaultInjector
+from repro.harness.reporting import format_table
+from repro.workload import instances_for_template
+from repro.workload.templates import seed_templates
+
+
+def main(workers: int, seed: int, m: int) -> None:
+    templates = seed_templates()[:4]
+    snapshot_dir = tempfile.mkdtemp(prefix="repro-cluster-demo-")
+    print(f"Booting {workers} workers over {len(templates)} templates "
+          f"(snapshots in {snapshot_dir})...")
+    supervisor = ClusterSupervisor(
+        templates,
+        num_workers=workers,
+        snapshot_dir=snapshot_dir,
+        lam=2.0,
+        db_scale=0.3,
+        snapshot_interval=0.3,
+    )
+    supervisor.start()
+    injector = ProcessFaultInjector(supervisor, seed=seed)
+
+    streams = {
+        t.name: instances_for_template(t, m, seed=1) for t in templates
+    }
+
+    print(f"\nPhase 1: warm the caches ({m // 2} instances/template)...")
+    futures = []
+    for i in range(m // 2):
+        for t in templates:
+            futures.append(supervisor.submit(
+                t.name, streams[t.name][i].sv.values, sequence_id=i
+            ))
+    for fut in futures:
+        fut.exception()
+    time.sleep(0.5)  # let a snapshot interval elapse so warm-starts have food
+
+    print(f"Phase 2: same load with chaos — one fault every "
+          f"{len(templates) * 4} requests...")
+    futures = []
+    for i in range(m // 2, m):
+        for t in templates:
+            futures.append(supervisor.submit(
+                t.name, streams[t.name][i].sv.values, sequence_id=i
+            ))
+            if len(futures) % (len(templates) * 4) == 0:
+                print(f"  chaos: {injector.inject_one()}")
+    lost = sum(1 for fut in futures if fut.exception() is not None)
+
+    report = supervisor.cluster_report()
+    supervisor.close()
+
+    print()
+    print(format_table(report["workers"], title="Fleet after the storm"))
+    outcomes = report["outcomes"]
+    print()
+    print(format_table([{
+        "submitted": report["submitted"],
+        "resolved": report["resolved"],
+        "certified": outcomes["certified"],
+        "uncertified": outcomes["uncertified"],
+        "shed": outcomes["shed"],
+        "retried_on_peer": report["retries"],
+        "worker_lost": report["worker_lost"],
+        "lambda_violations": (report["supervisor_lambda_violations"]
+                              + report["worker_lambda_violations"]),
+    }], title="Exactly one outcome per request"))
+    print(f"\nfaults injected : {', '.join(injector.injected) or 'none'}")
+    print(f"futures raised  : {lost} (worker_lost — counted as shed above)")
+    print("\nRecap: death is detected by missed heartbeat, the partition "
+          "re-routes to ring peers,\nthe replacement warm-starts from the "
+          "last checksummed snapshot, and the λ-guarantee\nholds for every "
+          "certified response — crashes cost latency, never correctness.")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--m", type=int, default=40,
+                        help="instances per template across both phases")
+    args = parser.parse_args()
+    main(workers=args.workers, seed=args.seed, m=args.m)

@@ -18,6 +18,12 @@ Commands
     counters, the live λ-violation audit, and every metric series.
     ``--prometheus FILE`` / ``--spans FILE`` additionally export the
     registry as text exposition and the decision spans as JSONL.
+``serve [--workers N] [--m N] [--chaos SEED]``
+    Multi-process serving tier: a supervisor, ``N`` worker processes
+    partitioned by consistent hashing, snapshot warm-starts, and (with
+    ``--chaos``) seeded process-level fault injection while the
+    workload runs.  Ends with the cluster health report; the gate is
+    every request resolved and zero λ-violations.
 """
 
 from __future__ import annotations
@@ -228,6 +234,89 @@ def cmd_obs_report(args) -> None:
         print(f"wrote {rows_written} spans to {args.spans}")
 
 
+def cmd_serve(args) -> None:
+    import json
+    import tempfile
+
+    from .cluster import ClusterSupervisor, ProcessFaultInjector
+    from .workload.generator import instances_for_template
+    from .workload.templates import seed_templates
+
+    templates = seed_templates()
+    if args.templates:
+        templates = templates[: args.templates]
+    snapshot_dir = args.snapshot_dir or tempfile.mkdtemp(
+        prefix="repro-cluster-"
+    )
+    supervisor = ClusterSupervisor(
+        templates,
+        num_workers=args.workers,
+        snapshot_dir=snapshot_dir,
+        lam=args.lam,
+        db_scale=args.db_scale,
+        threads=args.threads,
+    )
+    supervisor.start()
+    injector = (
+        ProcessFaultInjector(supervisor, seed=args.chaos)
+        if args.chaos is not None
+        else None
+    )
+    print(f"cluster up: {args.workers} workers, {len(templates)} templates, "
+          f"snapshots in {snapshot_dir}")
+
+    streams = {
+        t.name: instances_for_template(t, args.m, seed=1) for t in templates
+    }
+    futures = []
+    for i in range(args.m):
+        for template in templates:
+            sv = streams[template.name][i].sv.values
+            futures.append(supervisor.submit(template.name, sv, sequence_id=i))
+            if (
+                injector is not None
+                and len(futures) % args.chaos_every == 0
+            ):
+                print(f"  chaos: {injector.inject_one()}")
+
+    lost = 0
+    for fut in futures:
+        if fut.exception() is not None:
+            lost += 1
+    report = supervisor.cluster_report()
+    if args.prometheus:
+        with open(args.prometheus, "w", encoding="utf-8") as fh:
+            fh.write(supervisor.prometheus())
+        print(f"wrote merged Prometheus exposition to {args.prometheus}")
+    supervisor.close()
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return
+    print()
+    print(format_table(report["workers"], title="Fleet"))
+    outcomes = report["outcomes"]
+    print()
+    print(format_table([{
+        "submitted": report["submitted"],
+        "resolved": report["resolved"],
+        "certified": outcomes["certified"],
+        "uncertified": outcomes["uncertified"],
+        "shed": outcomes["shed"],
+        "retries": report["retries"],
+        "worker_lost": report["worker_lost"],
+        "lambda_violations": (report["supervisor_lambda_violations"]
+                              + report["worker_lambda_violations"]),
+    }], title="Cluster accounting (exactly one outcome per request)"))
+    if injector is not None:
+        print(f"\nfaults injected: {len(injector.injected)} "
+              f"({', '.join(injector.injected) or 'none'})")
+    unresolved = report["submitted"] - report["resolved"]
+    if unresolved or lost:
+        print(f"\nWARNING: {unresolved} unaccounted requests, "
+              f"{lost} futures raised")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -270,6 +359,28 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument("--json", action="store_true",
                             help="dump the full report as JSON instead")
     obs_report.set_defaults(func=cmd_obs_report)
+
+    serve = sub.add_parser("serve")
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--m", type=int, default=30,
+                       help="instances per template")
+    serve.add_argument("--templates", type=int, default=4,
+                       help="number of seed templates to serve (0 = all)")
+    serve.add_argument("--lam", type=float, default=2.0)
+    serve.add_argument("--db-scale", type=float, default=0.3)
+    serve.add_argument("--threads", type=int, default=4,
+                       help="serving threads inside each worker")
+    serve.add_argument("--chaos", type=int, metavar="SEED", default=None,
+                       help="enable seeded fault injection")
+    serve.add_argument("--chaos-every", type=int, default=40,
+                       help="inject one fault every N submissions")
+    serve.add_argument("--snapshot-dir", default=None,
+                       help="snapshot directory (default: fresh tempdir)")
+    serve.add_argument("--prometheus", metavar="FILE", default=None,
+                       help="write the merged cluster exposition here")
+    serve.add_argument("--json", action="store_true",
+                       help="dump the cluster report as JSON instead")
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -1,0 +1,51 @@
+"""Fault-tolerant multi-process serving tier (DESIGN.md §13).
+
+Worker processes own template partitions via consistent-hash routing,
+each running a full single-process serving stack; a supervisor does
+heartbeat liveness, capped-backoff restarts, graceful partition drains
+and snapshot warm-starts, and merges every worker's observability into
+one exposition.  ``python -m repro serve`` is the CLI front door.
+"""
+
+from .faults import FAULT_KINDS, ProcessFaultInjector
+from .router import HashRing
+from .snapshots import SnapshotStore
+from .supervisor import (
+    ClusterSupervisor,
+    ProcessLauncher,
+    SupervisorPolicy,
+    WorkerHandle,
+    WorkerState,
+)
+from .transport import (
+    Bye,
+    Control,
+    Heartbeat,
+    Ready,
+    Request,
+    Response,
+    WorkerLostError,
+)
+from .worker import ClusterWorker, WorkerSpec, worker_main
+
+__all__ = [
+    "Bye",
+    "ClusterSupervisor",
+    "ClusterWorker",
+    "Control",
+    "FAULT_KINDS",
+    "HashRing",
+    "Heartbeat",
+    "ProcessFaultInjector",
+    "ProcessLauncher",
+    "Ready",
+    "Request",
+    "Response",
+    "SnapshotStore",
+    "SupervisorPolicy",
+    "WorkerHandle",
+    "WorkerLostError",
+    "WorkerSpec",
+    "WorkerState",
+    "worker_main",
+]

@@ -1,0 +1,667 @@
+"""The supervisor: routing, liveness, crash recovery, merged health.
+
+One front-end process owns the cluster: it routes requests to worker
+processes along the consistent-hash ring, watches heartbeats, declares
+workers dead on silence (or on a reaped process), restarts them with
+capped exponential backoff, quarantines flappers, and re-routes a dead
+worker's partition with a graceful drain — every in-flight future
+resolves as retried-on-peer, shed, or :class:`WorkerLostError`, never
+hangs.
+
+Accounting discipline
+---------------------
+The supervisor's own :class:`~repro.obs.audit.GuaranteeAudit` is the
+*authoritative* exactly-one-outcome ledger: every submitted request
+increments exactly one of certified/uncertified/shed on the supervisor
+registry, including requests whose worker died (counted shed, reason
+``worker_lost``).  Worker registries arrive piggybacked on heartbeats
+and are retained per (worker, incarnation) — a crash cannot retract
+the counts its last heartbeat already delivered — and the merged
+Prometheus exposition renders supervisor series as
+``source="supervisor"`` alongside every worker-labeled series.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Optional
+
+from ..obs import Observability
+from ..obs.clock import SYSTEM_CLOCK, Clock
+from ..obs.exporters import merge_labeled_snapshots, snapshot_to_prometheus
+from ..query.template import QueryTemplate
+from .router import DEFAULT_VNODES, HashRing
+from .transport import (
+    Bye,
+    Control,
+    Heartbeat,
+    Ready,
+    Request,
+    Response,
+    WorkerLostError,
+)
+from .worker import WorkerSpec, worker_main
+
+RESTARTS_TOTAL = "repro_cluster_restarts_total"
+DEATHS_TOTAL = "repro_cluster_deaths_total"
+RETRIES_TOTAL = "repro_cluster_retries_total"
+WORKER_LOST_TOTAL = "repro_cluster_worker_lost_total"
+WORKERS_GAUGE = "repro_cluster_workers"
+
+
+class WorkerState(Enum):
+    STARTING = "starting"
+    LIVE = "live"
+    DRAINING = "draining"
+    DEAD = "dead"
+    QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Liveness and recovery tunables."""
+
+    #: A live worker this long without a heartbeat is declared dead.
+    heartbeat_timeout: float = 1.5
+    #: A starting worker gets this long to signal Ready (slow starts
+    #: included) before being declared dead.
+    startup_timeout: float = 30.0
+    #: Restart backoff: ``base * 2^k`` capped (k = restarts so far).
+    restart_backoff_base: float = 0.1
+    restart_backoff_cap: float = 5.0
+    #: How many times one request may be re-routed after worker deaths
+    #: before resolving as WorkerLostError.
+    max_retries: int = 2
+    #: Flap quarantine: this many deaths inside the window stops the
+    #: restart loop (the template-quarantine pattern at process scope).
+    flap_threshold: int = 5
+    flap_window: float = 30.0
+    #: Graceful-drain budget at shutdown before terminating stragglers.
+    drain_timeout: float = 10.0
+    vnodes: int = DEFAULT_VNODES
+
+
+class ProcessLauncher:
+    """Real worker processes via multiprocessing (spawn).
+
+    Spawn, not fork: the supervisor runs a monitor thread and workers
+    run thread pools, and forking a threaded process inherits poisoned
+    locks.  Tests swap in a fake launcher with the same three methods.
+    """
+
+    def __init__(self, ctx=None) -> None:
+        if ctx is None:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("spawn")
+        self.ctx = ctx
+
+    def make_response_queue(self):
+        return self.ctx.Queue()
+
+    def launch(self, spec: WorkerSpec, response_q):
+        """Start a worker; returns ``(request_queue, process_handle)``.
+
+        The process handle must expose ``is_alive() / terminate() /
+        kill() / join(timeout) / pid / exitcode``.
+        """
+        request_q = self.ctx.Queue()
+        process = self.ctx.Process(
+            target=worker_main,
+            args=(spec, request_q, response_q),
+            name=f"repro-{spec.worker_id}",
+            daemon=True,
+        )
+        process.start()
+        return request_q, process
+
+
+@dataclass
+class _Pending:
+    future: object
+    request: Request
+    worker_id: str
+
+
+@dataclass
+class WorkerHandle:
+    """Supervisor-side state machine for one worker slot."""
+
+    spec: WorkerSpec
+    request_q: object = None
+    process: object = None
+    state: WorkerState = WorkerState.STARTING
+    started_at: float = 0.0
+    last_heartbeat: float = 0.0
+    restarts: int = 0
+    death_times: list = field(default_factory=list)
+    next_restart_at: Optional[float] = None
+    #: One-shot spec overrides applied to the next respawn (chaos).
+    respawn_overrides: dict = field(default_factory=dict)
+    # -- last-known worker-reported stats -------------------------------------
+    requests_served: int = 0
+    optimizer_calls: int = 0
+    lambda_violations: int = 0
+    warm_templates: int = 0
+    cold_templates: int = 0
+    warm_instances: int = 0
+    bye_received: bool = False
+
+    @property
+    def worker_id(self) -> str:
+        return self.spec.worker_id
+
+    @property
+    def incarnation(self) -> int:
+        return self.spec.incarnation
+
+    @property
+    def routable(self) -> bool:
+        return self.state in (WorkerState.STARTING, WorkerState.LIVE)
+
+
+class ClusterSupervisor:
+    """Owns the worker fleet and the cluster-wide request interface."""
+
+    def __init__(
+        self,
+        templates: list[QueryTemplate],
+        num_workers: int,
+        snapshot_dir: str,
+        policy: Optional[SupervisorPolicy] = None,
+        launcher=None,
+        clock: Clock = SYSTEM_CLOCK,
+        obs: Optional[Observability] = None,
+        **spec_kwargs,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.templates = {t.name: t for t in templates}
+        self.policy = policy if policy is not None else SupervisorPolicy()
+        self.launcher = launcher if launcher is not None else ProcessLauncher()
+        self.clock = clock
+        self.obs = obs if obs is not None else Observability(clock=clock)
+        self._spec_kwargs = spec_kwargs
+        self.snapshot_dir = snapshot_dir
+        self.workers: dict[str, WorkerHandle] = {}
+        for i in range(num_workers):
+            wid = f"w{i}"
+            self.workers[wid] = WorkerHandle(spec=WorkerSpec(
+                worker_id=wid,
+                incarnation=0,
+                templates=tuple(templates),
+                snapshot_dir=snapshot_dir,
+                **spec_kwargs,
+            ))
+        self.ring = HashRing(sorted(self.workers), vnodes=self.policy.vnodes)
+        self.response_q = self.launcher.make_response_queue()
+        self._lock = threading.RLock()
+        self._pending: dict[int, _Pending] = {}
+        self._next_request_id = 0
+        self._registry_history: dict[tuple[str, int], dict] = {}
+        self._outcome_history: dict[tuple[str, int], dict] = {}
+        self._violation_history: dict[tuple[str, int], int] = {}
+        self._monitor: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._closed = False
+        self.submitted = 0
+        reg = self.obs.registry
+        self._restarts = reg.counter(
+            RESTARTS_TOTAL, "Worker restarts by the supervisor",
+            labels=("worker",),
+        )
+        self._deaths = reg.counter(
+            DEATHS_TOTAL, "Worker deaths by detection reason",
+            labels=("worker", "reason"),
+        )
+        self._retries = reg.counter(
+            RETRIES_TOTAL, "In-flight requests re-routed to a peer",
+        ).labels()
+        self._lost = reg.counter(
+            WORKER_LOST_TOTAL, "Requests resolved as WorkerLostError",
+        ).labels()
+        self._workers_gauge = reg.gauge(
+            WORKERS_GAUGE, "Workers per lifecycle state", labels=("state",),
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self, monitor: bool = True) -> "ClusterSupervisor":
+        """Launch every worker; optionally start the monitor thread.
+
+        ``monitor=False`` leaves message pumping and liveness ticks to
+        the caller (:meth:`pump`, :meth:`tick`) — the deterministic mode
+        the supervisor test-suite drives with a fake clock.
+        """
+        now = self.clock.monotonic()
+        with self._lock:
+            for handle in self.workers.values():
+                self._launch(handle, now)
+        if monitor:
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="cluster-monitor", daemon=True
+            )
+            self._monitor.start()
+        return self
+
+    def _launch(self, handle: WorkerHandle, now: float) -> None:
+        handle.request_q, handle.process = self.launcher.launch(
+            handle.spec, self.response_q
+        )
+        handle.state = WorkerState.STARTING
+        handle.started_at = now
+        handle.last_heartbeat = now
+        handle.next_restart_at = None
+        handle.bye_received = False
+        self._update_worker_gauge()
+
+    def _monitor_loop(self) -> None:
+        interval = min(0.05, self.policy.heartbeat_timeout / 4)
+        while not self._stopping.is_set():
+            self.pump(timeout=interval)
+            self.tick()
+
+    def pump(self, timeout: float = 0.0) -> int:
+        """Drain available worker messages; returns messages handled."""
+        import queue as queue_mod
+
+        handled = 0
+        while True:
+            try:
+                message = self.response_q.get(
+                    timeout=timeout if handled == 0 else 0
+                )
+            except queue_mod.Empty:
+                return handled
+            except (EOFError, OSError):  # queue torn down during close
+                return handled
+            self._handle_message(message)
+            handled += 1
+
+    # -- submission / routing -------------------------------------------------
+
+    def submit(
+        self,
+        template_name: str,
+        sv,
+        sequence_id: int = -1,
+    ):
+        """Route one request; returns a Future resolving to a Response.
+
+        The future always terminates: with the worker's
+        :class:`Response` (served, shed or degraded — inspect ``ok`` /
+        ``error_kind``), or exceptionally with :class:`WorkerLostError`
+        when the owning worker and every retry peer died under it.
+        """
+        from concurrent.futures import Future
+
+        if template_name not in self.templates:
+            raise KeyError(f"template {template_name!r} is not registered")
+        fut: Future = Future()
+        with self._lock:
+            if self._closed:
+                fut.set_exception(WorkerLostError("-", "supervisor closed"))
+                return fut
+            request = Request(
+                request_id=self._next_request_id,
+                template_name=template_name,
+                sv=tuple(float(s) for s in sv),
+                sequence_id=sequence_id,
+            )
+            self._next_request_id += 1
+            self.submitted += 1
+            if not self._dispatch(fut, request):
+                self._resolve_lost(fut, request, "no routable workers")
+        return fut
+
+    def _dispatch(self, fut, request: Request) -> bool:
+        """Send to the ring owner among routable workers; False if none."""
+        alive = [w for w, h in self.workers.items() if h.routable]
+        if not alive:
+            return False
+        owner = self.ring.owner(request.template_name, alive)
+        handle = self.workers[owner]
+        self._pending[request.request_id] = _Pending(
+            future=fut, request=request, worker_id=owner
+        )
+        try:
+            handle.request_q.put(request)
+        except (OSError, ValueError):
+            # Queue died with the worker between checks; treat as death.
+            del self._pending[request.request_id]
+            self._declare_dead(handle, reason="queue_closed")
+            return self._dispatch(fut, request)
+        return True
+
+    def _resolve_lost(self, fut, request: Request, detail: str) -> None:
+        self._lost.inc()
+        audit = self.obs.audit
+        audit.response(request.template_name, "shed")
+        audit.certificate(request.template_name, "shed")
+        audit.degraded(request.template_name, "shed", "worker_lost")
+        if not fut.done():
+            fut.set_exception(WorkerLostError("-", detail))
+
+    # -- message handling -----------------------------------------------------
+
+    def _handle_message(self, message) -> None:
+        with self._lock:
+            if isinstance(message, Response):
+                self._on_response(message)
+            elif isinstance(message, Heartbeat):
+                self._on_heartbeat(message)
+            elif isinstance(message, Ready):
+                self._on_ready(message)
+            elif isinstance(message, Bye):
+                self._on_bye(message)
+
+    @staticmethod
+    def _stale(handle: Optional[WorkerHandle], incarnation: int) -> bool:
+        """Messages from written-off or replaced incarnations are stale.
+
+        The incarnation guard covers post-restart stragglers; the state
+        guard covers the window between declaring death and the restart,
+        when the incarnation hasn't advanced yet but the handle has
+        already been written off (its process reaped, its partition
+        re-routed) — a zombie heartbeat must not refresh its stats.
+        """
+        return (
+            handle is None
+            or handle.incarnation != incarnation
+            or handle.state in (WorkerState.DEAD, WorkerState.QUARANTINED)
+        )
+
+    def _on_ready(self, message: Ready) -> None:
+        handle = self.workers.get(message.worker_id)
+        if self._stale(handle, message.incarnation):
+            return  # a previous incarnation's late boot; ignore
+        handle.state = WorkerState.LIVE
+        handle.last_heartbeat = self.clock.monotonic()
+        handle.warm_templates = message.warm_templates
+        handle.cold_templates = message.cold_templates
+        handle.warm_instances = message.warm_instances
+        self._update_worker_gauge()
+
+    def _on_heartbeat(self, message: Heartbeat) -> None:
+        handle = self.workers.get(message.worker_id)
+        if self._stale(handle, message.incarnation):
+            return
+        handle.last_heartbeat = self.clock.monotonic()
+        if handle.state is WorkerState.STARTING:
+            handle.state = WorkerState.LIVE
+            self._update_worker_gauge()
+        handle.requests_served = message.requests_served
+        handle.optimizer_calls = message.optimizer_calls
+        handle.lambda_violations = message.lambda_violations
+        key = (message.worker_id, message.incarnation)
+        self._registry_history[key] = message.registry
+        self._outcome_history[key] = message.outcomes
+        self._violation_history[key] = message.lambda_violations
+
+    def _on_bye(self, message: Bye) -> None:
+        handle = self.workers.get(message.worker_id)
+        if handle is None or handle.incarnation != message.incarnation:
+            return
+        handle.bye_received = True
+        handle.requests_served = message.requests_served
+
+    def _on_response(self, message: Response) -> None:
+        pending = self._pending.pop(message.request_id, None)
+        if pending is None:
+            return  # late duplicate after a re-route already resolved it
+        self._account_response(message)
+        if not pending.future.done():
+            pending.future.set_result(message)
+
+    def _account_response(self, message: Response) -> None:
+        """The exactly-one-outcome ledger entry for one resolution."""
+        audit = self.obs.audit
+        template = message.template_name
+        if message.ok and message.certified:
+            audit.response(template, "certified")
+            audit.certificate(template, message.certificate)
+            if message.certified_bound is not None and not self._lambda_relaxed:
+                audit.certified_bound(
+                    template, message.certified_bound,
+                    self._lambda_for_template(),
+                    kind=message.certificate,
+                )
+        elif message.ok:
+            audit.response(template, "uncertified")
+            audit.certificate(template, "uncertified")
+            audit.degraded(template, "uncertified", message.check or "degraded")
+        else:
+            audit.response(template, "shed")
+            audit.certificate(template, "shed")
+            audit.degraded(
+                template, "shed", message.error_reason or message.error_kind
+            )
+
+    @property
+    def _lambda_relaxed(self) -> bool:
+        # With in-worker brownout the effective λ can legitimately float
+        # above the configured one; the worker-side audit (which sees
+        # the relaxed λ in force) remains the violation authority then.
+        return bool(self._spec_kwargs.get("overload"))
+
+    def _lambda_for_template(self) -> float:
+        return float(self._spec_kwargs.get("lam", 2.0))
+
+    # -- liveness / recovery --------------------------------------------------
+
+    def tick(self) -> None:
+        """One liveness pass: detect deaths, fire due restarts."""
+        now = self.clock.monotonic()
+        with self._lock:
+            for handle in self.workers.values():
+                if handle.state is WorkerState.STARTING:
+                    if (
+                        handle.process is not None
+                        and not self._process_alive(handle)
+                    ):
+                        self._declare_dead(handle, reason="exited")
+                    elif now - handle.started_at > self.policy.startup_timeout:
+                        self._declare_dead(handle, reason="startup_timeout")
+                elif handle.state is WorkerState.LIVE:
+                    if not self._process_alive(handle):
+                        self._declare_dead(handle, reason="exited")
+                    elif (
+                        now - handle.last_heartbeat
+                        > self.policy.heartbeat_timeout
+                    ):
+                        self._declare_dead(handle, reason="heartbeat_timeout")
+                elif handle.state is WorkerState.DEAD:
+                    if (
+                        handle.next_restart_at is not None
+                        and now >= handle.next_restart_at
+                    ):
+                        self._restart(handle, now)
+
+    @staticmethod
+    def _process_alive(handle: WorkerHandle) -> bool:
+        is_alive = getattr(handle.process, "is_alive", None)
+        return bool(is_alive()) if is_alive is not None else True
+
+    def _declare_dead(self, handle: WorkerHandle, reason: str) -> None:
+        if handle.state in (WorkerState.DEAD, WorkerState.QUARANTINED):
+            return
+        now = self.clock.monotonic()
+        self._deaths.labels(worker=handle.worker_id, reason=reason).inc()
+        # Best-effort reap: a stalled-but-alive process is killed so the
+        # replacement can't race it on the snapshot directory.
+        for op in ("kill", "terminate"):
+            fn = getattr(handle.process, op, None)
+            if fn is not None:
+                try:
+                    fn()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+                break
+        handle.state = WorkerState.DEAD
+        handle.death_times.append(now)
+        cutoff = now - self.policy.flap_window
+        handle.death_times = [t for t in handle.death_times if t >= cutoff]
+        if len(handle.death_times) >= self.policy.flap_threshold:
+            # Flapping: stop the restart loop; the partition stays
+            # re-routed to peers (the process-scope quarantine).
+            handle.state = WorkerState.QUARANTINED
+            handle.next_restart_at = None
+        else:
+            backoff = min(
+                self.policy.restart_backoff_base * (2 ** handle.restarts),
+                self.policy.restart_backoff_cap,
+            )
+            handle.next_restart_at = now + backoff
+        self._update_worker_gauge()
+        self._reroute_pendings(handle.worker_id)
+
+    def _reroute_pendings(self, dead_worker: str) -> None:
+        """Drain the dead worker's in-flight requests: retry or resolve."""
+        stranded = [
+            p for p in self._pending.values() if p.worker_id == dead_worker
+        ]
+        for pending in stranded:
+            del self._pending[pending.request.request_id]
+            request = pending.request
+            if request.attempt < self.policy.max_retries:
+                retry = replace(request, attempt=request.attempt + 1)
+                if self._dispatch(pending.future, retry):
+                    self._retries.inc()
+                    continue
+            self._resolve_lost(
+                pending.future, request, f"worker {dead_worker} died"
+            )
+
+    def _restart(self, handle: WorkerHandle, now: float) -> None:
+        # Chaos one-shots never survive into a replacement unless the
+        # injector re-arms them explicitly via respawn_overrides.
+        changes = {"die_after_requests": None, "slow_start_seconds": 0.0}
+        changes.update(handle.respawn_overrides)
+        handle.respawn_overrides = {}
+        handle.spec = replace(
+            handle.spec, incarnation=handle.incarnation + 1, **changes
+        )
+        handle.restarts += 1
+        self._restarts.labels(worker=handle.worker_id).inc()
+        self._launch(handle, now)
+
+    def _update_worker_gauge(self) -> None:
+        counts = {state: 0 for state in WorkerState}
+        for handle in self.workers.values():
+            counts[handle.state] += 1
+        for state, count in counts.items():
+            self._workers_gauge.labels(state=state.value).set(count)
+
+    # -- reporting ------------------------------------------------------------
+
+    def worker_lambda_violations(self) -> int:
+        """Σ of every incarnation's last-reported λ-violation count."""
+        with self._lock:
+            return sum(self._violation_history.values())
+
+    def cluster_report(self) -> dict:
+        """One health view: fleet table + cluster-wide accounting."""
+        now = self.clock.monotonic()
+        with self._lock:
+            rows = []
+            for wid in sorted(self.workers):
+                handle = self.workers[wid]
+                rows.append({
+                    "worker": wid,
+                    "incarnation": handle.incarnation,
+                    "state": handle.state.value,
+                    "restarts": handle.restarts,
+                    "requests_served": handle.requests_served,
+                    "optimizer_calls": handle.optimizer_calls,
+                    "warm_templates": handle.warm_templates,
+                    "cold_templates": handle.cold_templates,
+                    "warm_instances": handle.warm_instances,
+                    "heartbeat_age": round(now - handle.last_heartbeat, 3),
+                    "lambda_violations": handle.lambda_violations,
+                })
+            audit = self.obs.audit
+            outcomes = audit.outcome_totals()
+            return {
+                "workers": rows,
+                "submitted": self.submitted,
+                "in_flight": len(self._pending),
+                "outcomes": outcomes,
+                "resolved": sum(outcomes.values()),
+                "retries": int(self.obs.registry.total(RETRIES_TOTAL)),
+                "worker_lost": int(self.obs.registry.total(WORKER_LOST_TOTAL)),
+                "supervisor_lambda_violations": audit.total_violations,
+                "worker_lambda_violations": self.worker_lambda_violations(),
+                "snapshot_dir": self.snapshot_dir,
+            }
+
+    def prometheus(self) -> str:
+        """Supervisor + every (worker, incarnation) registry, one text.
+
+        Series are distinguished by an injected ``source`` label
+        (``"supervisor"`` for the supervisor's own registry, else
+        ``"<id>:<incarnation>"``); dead incarnations keep contributing
+        their last heartbeat's counts, so the exposition is monotone
+        across crashes.
+        """
+        with self._lock:
+            sources = {"supervisor": self.obs.registry.snapshot()}
+            for (wid, inc), snapshot in sorted(self._registry_history.items()):
+                sources[f"{wid}:{inc}"] = snapshot
+        return snapshot_to_prometheus(merge_labeled_snapshots(sources))
+
+    # -- shutdown -------------------------------------------------------------
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Graceful drain: stop workers, resolve leftovers, never hang."""
+        deadline = self.clock.monotonic() + (
+            timeout if timeout is not None else self.policy.drain_timeout
+        )
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            draining = []
+            for handle in self.workers.values():
+                if handle.routable:
+                    handle.state = WorkerState.DRAINING
+                    try:
+                        handle.request_q.put(Control("stop"))
+                    except (OSError, ValueError):
+                        pass
+                    draining.append(handle)
+            self._update_worker_gauge()
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+        # Pump until every draining worker said Bye or the budget runs out.
+        while self.clock.monotonic() < deadline:
+            self.pump(timeout=0.05)
+            with self._lock:
+                if all(h.bye_received for h in draining):
+                    break
+        for handle in draining:
+            terminate = getattr(handle.process, "terminate", None)
+            if not handle.bye_received and terminate is not None:
+                terminate()
+            join = getattr(handle.process, "join", None)
+            if join is not None:
+                join(timeout=2.0)
+            with self._lock:
+                handle.state = WorkerState.DEAD
+        self.pump(timeout=0.0)  # late responses that raced the drain
+        with self._lock:
+            leftovers = list(self._pending.values())
+            self._pending.clear()
+            for pending in leftovers:
+                self._resolve_lost(
+                    pending.future, pending.request, "supervisor shutdown"
+                )
+            self._update_worker_gauge()
+
+    def __enter__(self) -> "ClusterSupervisor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,126 @@
+"""Wire types between the supervisor and its worker processes.
+
+Everything here crosses a ``multiprocessing`` queue, so it must pickle
+under the spawn start method: plain module-level dataclasses carrying
+primitives only.  Notably a worker response carries a *flattened*
+outcome — plan signature, certificate fields, counters — rather than
+the full :class:`~repro.core.technique.PlanChoice`: plan trees and
+shrunken memos are per-worker state and never leave the process.  When
+worker-side verification is on, the response additionally ships the
+chosen plan's recosted cost at the served sVector, so a benchmark can
+check the λ-certificate against its own oracle without access to the
+worker's cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class WorkerLostError(RuntimeError):
+    """The owning worker died and no retry could serve this request.
+
+    The terminal resolution of the drain protocol: an in-flight future
+    whose worker crashed resolves as retried-on-peer (a normal result),
+    shed, or this error — it never hangs.
+    """
+
+    def __init__(self, worker_id: str, detail: str = "") -> None:
+        self.worker_id = worker_id
+        super().__init__(
+            f"worker {worker_id!r} lost" + (f": {detail}" if detail else "")
+        )
+
+
+@dataclass(frozen=True)
+class Request:
+    """One query instance bound for a worker."""
+
+    request_id: int
+    template_name: str
+    sv: tuple[float, ...]
+    sequence_id: int = -1
+    attempt: int = 0
+
+
+@dataclass(frozen=True)
+class Response:
+    """A served (or failed) request coming back from a worker."""
+
+    request_id: int
+    worker_id: str
+    incarnation: int
+    template_name: str
+    ok: bool
+    #: Echo of the request's sequence id, so an external auditor can
+    #: recover which workload instance (and thus which sVector) this
+    #: response served without the supervisor keeping a side table.
+    sequence_id: int = -1
+    # -- flattened PlanChoice fields (when ok) --------------------------------
+    check: str = ""
+    plan_signature: str = ""
+    certified: bool = False
+    certificate: str = "uncertified"
+    certified_bound: Optional[float] = None
+    coverage: float = 1.0
+    used_optimizer: bool = False
+    recost_calls: int = 0
+    #: Chosen plan's cost recosted at the served sVector (worker-side
+    #: verification only) — the numerator of the oracle's SO(q).
+    plan_cost_at_sv: Optional[float] = None
+    # -- failure description (when not ok) ------------------------------------
+    error_kind: str = ""      # "shed" | "shutdown" | "error"
+    error_reason: str = ""
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic liveness + stats beacon from a worker."""
+
+    worker_id: str
+    incarnation: int
+    seq: int
+    requests_served: int
+    optimizer_calls: int
+    #: Outcome totals of the worker's own audit (advisory; the
+    #: supervisor's audit is the authoritative accounting).
+    outcomes: dict = field(default_factory=dict)
+    #: Full metrics-registry snapshot (merged into the cluster-wide
+    #: Prometheus exposition, labeled by worker identity).
+    registry: dict = field(default_factory=dict)
+    lambda_violations: int = 0
+
+
+@dataclass(frozen=True)
+class Ready:
+    """Worker finished booting (and warm-starting) and is serving."""
+
+    worker_id: str
+    incarnation: int
+    #: Templates restored from snapshots vs started cold — the warm-start
+    #: accounting the chaos gate's ≤20% optimizer-call bound audits.
+    warm_templates: int = 0
+    cold_templates: int = 0
+    warm_instances: int = 0
+
+
+@dataclass(frozen=True)
+class Bye:
+    """Worker acknowledging a graceful stop (final snapshots published)."""
+
+    worker_id: str
+    incarnation: int
+    requests_served: int = 0
+
+
+@dataclass(frozen=True)
+class Control:
+    """Supervisor → worker control message.
+
+    ``kind`` is one of ``"stop"`` (graceful drain + final snapshot),
+    ``"stall_heartbeats"`` / ``"resume_heartbeats"`` (fault injection),
+    or ``"publish_snapshots"`` (force an immediate snapshot round).
+    """
+
+    kind: str

@@ -53,7 +53,8 @@ and break the decision-equivalence contract the differential suite
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from functools import cached_property
+from typing import TYPE_CHECKING, Optional, Sequence
 
 try:  # numpy is a hard dependency of the package, but the scalar
     import numpy as np  # decision procedure must keep working without it
@@ -129,6 +130,36 @@ class ColumnarInstances:
     def dimensions(self) -> int:
         return self.sv.shape[1]
 
+    @cached_property
+    def sv_sq(self) -> "np.ndarray":
+        """``sv²`` broadcast-shaped ``(1, N, d)`` — the anchor side of the
+        robust corner predicate ``lo·hi ≥ e²``, shared across every probe
+        of the epoch instead of rebuilt per box.  (``cached_property``
+        writes the instance ``__dict__`` directly, so it coexists with
+        the frozen dataclass.)"""
+        return self.sv[None, :, :] * self.sv[None, :, :]
+
+    def usage_rank(self, version: int) -> "np.ndarray":
+        """Row rank under the USAGE candidate order, memoized per cache
+        ``usage_version``.
+
+        ``rank[i] < rank[j]`` iff row ``i`` precedes row ``j`` in a
+        stable descending-usage sort; ranks are unique, so sorting any
+        row subset (taken in row order) by rank reproduces the scalar
+        path's stable ``sort(key=-usage)`` over that subset exactly.
+        Usage mutates without an epoch bump, which is why the memo keys
+        on the cache's usage version rather than living in ``build``.
+        """
+        memo = self.__dict__.get("_usage_rank")
+        if memo is not None and memo[0] == version:
+            return memo[1]
+        usage = np.array([e.usage for e in self.entries], dtype=np.int64)
+        order = np.argsort(-usage, kind="stable")
+        rank = np.empty(len(order), dtype=np.int64)
+        rank[order] = np.arange(len(order), dtype=np.int64)
+        self.__dict__["_usage_rank"] = (version, rank)
+        return rank
+
 
 # -- G/L kernels --------------------------------------------------------------
 #
@@ -155,27 +186,33 @@ def gl_matrix(
 
 
 def corner_matrix(
-    sv: "np.ndarray", lo: "np.ndarray", hi: "np.ndarray"
+    sv: "np.ndarray", lo: "np.ndarray", hi: "np.ndarray",
+    sv_sq: Optional["np.ndarray"] = None,
 ) -> "np.ndarray":
     """Adversarial corner of each box against each stored anchor.
 
     Vectorizes :func:`repro.core.bounds.adversarial_corner`'s endpoint
     predicate (``lo·hi ≥ e²`` picks ``hi``, ties to ``hi``) over the
     ``(B, d)`` box bounds and the ``(N, d)`` anchor matrix, returning
-    the ``(B, N, d)`` corner tensor.
+    the ``(B, N, d)`` corner tensor.  ``sv_sq`` is the precomputed
+    ``(1, N, d)`` anchor-squared tensor (``ColumnarInstances.sv_sq``);
+    without it the squares are rebuilt per call.
     """
+    if sv_sq is None:
+        sv_sq = sv[None, :, :] * sv[None, :, :]
     return np.where(
-        (lo * hi)[:, None, :] >= sv[None, :, :] * sv[None, :, :],
+        (lo * hi)[:, None, :] >= sv_sq,
         hi[:, None, :],
         lo[:, None, :],
     )
 
 
 def corner_gl_matrix(
-    sv: "np.ndarray", lo: "np.ndarray", hi: "np.ndarray"
+    sv: "np.ndarray", lo: "np.ndarray", hi: "np.ndarray",
+    sv_sq: Optional["np.ndarray"] = None,
 ) -> tuple["np.ndarray", "np.ndarray"]:
     """``(G, L)`` evaluated at each box's adversarial corner."""
-    corner = corner_matrix(sv, lo, hi)
+    corner = corner_matrix(sv, lo, hi, sv_sq)
     alphas = corner / sv[None, :, :]
     g = np.multiply.reduce(np.where(alphas > 1.0, alphas, 1.0), axis=2)
     l = np.divide.reduce(np.where(alphas < 1.0, alphas, 1.0), axis=2,

@@ -491,7 +491,7 @@ class GetPlan:
         if box is not None:
             lo = np.array([box.lo.values], dtype=np.float64)
             hi = np.array([box.hi.values], dtype=np.float64)
-            gc_row, lc_row = corner_gl_matrix(view.sv, lo, hi)
+            gc_row, lc_row = corner_gl_matrix(view.sv, lo, hi, view.sv_sq)
         else:
             gc_row, lc_row = g_row, l_row
         return self._decide_row(
@@ -582,8 +582,15 @@ class GetPlan:
             elif self.candidate_order is CandidateOrder.AREA:
                 fail = fail[np.argsort(-view.area[fail], kind="stable")]
                 presorted = True
-            else:  # USAGE mutates without epoch bumps: sort scalar-side.
-                presorted = False
+            else:
+                # USAGE mutates without epoch bumps; the per-row rank is
+                # memoized against the cache's usage_version instead.
+                # Ranks are unique (ties broken by row order, exactly as
+                # the scalar stable sort breaks them), so this subset
+                # sort equals the scalar sort over the same candidates.
+                rank = view.usage_rank(self.cache.usage_version)
+                fail = fail[np.argsort(rank[fail], kind="stable")]
+                presorted = True
             if presorted and cap is not None and cap < fail.size:
                 return (
                     None,
@@ -795,7 +802,7 @@ class GetPlan:
             if robust:
                 lo = np.array([b.lo.values for _, b in chunk], dtype=np.float64)
                 hi = np.array([b.hi.values for _, b in chunk], dtype=np.float64)
-                gc_m, lc_m = corner_gl_matrix(view.sv, lo, hi)
+                gc_m, lc_m = corner_gl_matrix(view.sv, lo, hi, view.sv_sq)
             else:
                 gc_m, lc_m = g_m, l_m
             for j, (point, box) in enumerate(chunk):

@@ -120,6 +120,7 @@ class ManageCache:
             duplicate = self.cache.find_instance(sv)
             if duplicate is not None and not duplicate.retired:
                 duplicate.usage += 1
+                self.cache.usage_version += 1
                 self.stats.instances_coalesced += 1
                 return duplicate
 

@@ -18,6 +18,7 @@ import json
 import os
 import tempfile
 from dataclasses import dataclass
+from typing import Optional
 
 from ..optimizer.operators import PhysicalOp
 from ..optimizer.recost import ShrunkenMemo, _RecostNode
@@ -196,22 +197,53 @@ def _cache_from_payload(data: dict) -> PlanCache:
     return cache
 
 
+def _fsync_directory(directory: str) -> None:
+    """Flush the directory entry after an ``os.replace``.
+
+    The rename itself is atomic, but without a directory fsync a power
+    loss can still forget *which* name the entry points at.  Filesystems
+    that refuse fsync on directory handles (some network mounts) degrade
+    to rename-only atomicity, which is what the previous behaviour was.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        dfd = os.open(directory, flags)
+    except OSError:  # pragma: no cover - exotic filesystems only
+        return
+    try:
+        os.fsync(dfd)
+    except OSError:  # pragma: no cover - exotic filesystems only
+        pass
+    finally:
+        os.close(dfd)
+
+
 @dataclass(frozen=True)
 class CacheSnapshot:
     """Crash-safe dump/load against a file path.
 
     ``save`` writes to a temporary file in the target directory, fsyncs
-    it, and atomically renames it over the destination with
-    :func:`os.replace` — a crash mid-save leaves the previous snapshot
-    intact, never a truncated one.  ``load`` verifies the embedded
-    checksum and raises :class:`CacheCorruptionError` on any damage,
-    leaving the file untouched for forensics.
+    it, atomically renames it over the destination with
+    :func:`os.replace`, and fsyncs the directory so the rename survives
+    power loss — a crash mid-save leaves the previous snapshot intact,
+    never a truncated one, and a reader racing a save always observes
+    either the old or the new complete document.  ``load`` verifies the
+    embedded checksum and raises :class:`CacheCorruptionError` on any
+    damage, leaving the file untouched for forensics.
     """
 
     path: str
 
     def save(self, cache: PlanCache) -> int:
-        text = dump_cache(cache)
+        return self.save_text(dump_cache(cache))
+
+    def save_text(self, text: str) -> int:
+        """Atomically publish an already-serialized dump.
+
+        Split out so callers that must serialize under a lock (the
+        cluster workers dump under the shard lock) can do the disk I/O
+        outside it.
+        """
         directory = os.path.dirname(os.path.abspath(self.path))
         fd, tmp_path = tempfile.mkstemp(
             dir=directory, prefix=os.path.basename(self.path) + ".", suffix=".tmp"
@@ -228,8 +260,20 @@ class CacheSnapshot:
             except OSError:
                 pass
             raise
+        _fsync_directory(directory)
         return len(text)
 
     def load(self) -> PlanCache:
         with open(self.path) as f:
             return load_cache(f.read())
+
+    def load_or_none(self) -> Optional[PlanCache]:
+        """Best-effort load: ``None`` on a missing or damaged snapshot.
+
+        The warm-start path uses this — a corrupt or torn snapshot must
+        degrade a replacement worker to a cold start, never crash it.
+        """
+        try:
+            return self.load()
+        except (OSError, CacheCorruptionError, ValueError):
+            return None

@@ -106,6 +106,12 @@ class PlanCache:
     #: (plan added/dropped, instance added).  Lock-free readers compare
     #: epochs to detect that a snapshot went stale.
     epoch: int = 0
+    #: Monotonic *usage* counter; bumped whenever any instance's ``U``
+    #: changes.  Usage edits are advisory (they reorder LFU/USAGE scans
+    #: but never move an anchor), so they deliberately do not bump
+    #: ``epoch`` — columnar views stay valid across them and memoize
+    #: usage-derived orderings against this counter instead.
+    usage_version: int = 0
     _snapshot: Optional[CacheSnapshot] = field(default=None, repr=False)
     _columnar: Optional[object] = field(default=None, repr=False)
     # Observers (e.g. the §6.2 spatial index) notified on mutation.
@@ -156,9 +162,33 @@ class PlanCache:
     def touch(self, plan_id: int) -> None:
         """Record a reuse of ``plan_id`` (advances the LRU clock)."""
         self._tick += 1
+        self.usage_version += 1
         plan = self._plans.get(plan_id)
         if plan is not None:
             plan.last_used_tick = self._tick
+
+    def adopt(self, other: PlanCache) -> None:
+        """Replace this cache's contents with ``other``'s, in place.
+
+        Warm-start installs a restored snapshot into a live SCR stack,
+        where ``get_plan``, ``manage_cache``, and the spatial index all
+        hold references to *this* object — so the contents move, not the
+        identity.  The epoch advances past both caches' so every
+        outstanding snapshot/columnar view reads as stale.
+        """
+        self._plans = other._plans
+        self._by_signature = other._by_signature
+        self._instances = other._instances
+        self._next_plan_id = other._next_plan_id
+        self._tick = max(self._tick, other._tick)
+        self.max_plans_seen = max(self.max_plans_seen, other.max_plans_seen)
+        self.plans_dropped += other.plans_dropped
+        self.epoch = max(self.epoch, other.epoch)
+        self.usage_version = max(self.usage_version, other.usage_version)
+        self._mutated()
+        for entry in self._instances:
+            for listener in self.on_instance_added:
+                listener(entry)
 
     # -- plan list ---------------------------------------------------------
 

@@ -144,6 +144,74 @@ def write_trace_jsonl(trace, target: Union[str, IO[str]],
         return writer.rows_written
 
 
+def merge_labeled_snapshots(
+    sources: dict[str, dict], label: str = "source"
+) -> dict:
+    """Combine registry snapshots from many processes into one.
+
+    ``sources`` maps a source identity (e.g. ``"supervisor"``,
+    ``"w0:2"``) to that process's ``MetricsRegistry.snapshot()`` dump.
+    Families merge by name; every series gains ``label=<identity>``, so
+    same-named counters from different workers stay distinct instead of
+    colliding.  ``label`` defaults to ``source`` rather than ``worker``
+    because supervisor families legitimately carry their own ``worker``
+    label (which worker restarted), which must not be clobbered by the
+    identity of the registry the series came from.  A series that
+    already uses the label name keeps its own value.
+    """
+    merged: dict[str, dict] = {}
+    for identity, snapshot in sources.items():
+        for name, family in snapshot.items():
+            target = merged.setdefault(name, {
+                "kind": family.get("kind", "counter"),
+                "help": family.get("help", ""),
+                "series": [],
+            })
+            for series in family.get("series", []):
+                row = dict(series)
+                row["labels"] = {label: identity, **series.get("labels", {})}
+                target["series"].append(row)
+    return merged
+
+
+def snapshot_to_prometheus(snapshot: dict) -> str:
+    """Render a registry *snapshot dict* as Prometheus text exposition.
+
+    The snapshot-shaped twin of :func:`to_prometheus`, for state that
+    crossed a process boundary as JSON (worker heartbeats) and so has
+    no live registry behind it.  Output is deterministic: families and
+    series are sorted.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {family.get('kind', 'counter')}")
+        series = sorted(
+            family.get("series", []),
+            key=lambda row: sorted(row.get("labels", {}).items()),
+        )
+        for row in series:
+            labels = row.get("labels", {})
+            names = tuple(sorted(labels))
+            values = tuple(str(labels[k]) for k in names)
+            if family.get("kind") == "histogram":
+                for edge, count in row.get("buckets", []):
+                    edge_text = (
+                        edge if isinstance(edge, str) else _format_value(edge)
+                    )
+                    le = _format_labels(names, values, extra=("le", edge_text))
+                    lines.append(f"{name}_bucket{le} {count}")
+                plain = _format_labels(names, values)
+                lines.append(f"{name}_sum{plain} {_format_value(row['sum'])}")
+                lines.append(f"{name}_count{plain} {row['count']}")
+            else:
+                plain = _format_labels(names, values)
+                lines.append(f"{name}{plain} {_format_value(row['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
 def snapshot_rows(registry: MetricsRegistry,
                   names: Optional[Iterable[str]] = None) -> list[dict]:
     """Flat per-series rows for the CLI table renderer."""

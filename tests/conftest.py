@@ -5,11 +5,30 @@ Everything is session-scoped and deterministic so the suite stays fast.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.catalog.schema import Column, Schema, Table
 from repro.engine.database import Database
 from repro.query.template import QueryTemplate, join, range_predicate
+
+
+def pytest_collection_modifyitems(config, items):
+    """Keep multi-process cluster tests out of the tier-1 run.
+
+    They spawn real worker processes and build catalog databases, so
+    they run as their own CI job (``RUN_CLUSTER_TESTS=1``) instead of
+    slowing every ``pytest`` invocation.
+    """
+    if os.environ.get("RUN_CLUSTER_TESTS") == "1":
+        return
+    skip = pytest.mark.skip(
+        reason="cluster test: spawns processes; set RUN_CLUSTER_TESTS=1"
+    )
+    for item in items:
+        if "cluster" in item.keywords:
+            item.add_marker(skip)
 
 
 def build_toy_schema() -> Schema:

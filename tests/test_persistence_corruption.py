@@ -140,3 +140,131 @@ class TestSnapshotFileSafety:
         # Saving over an existing snapshot keeps it loadable throughout.
         snapshot.save(populated_cache)
         assert snapshot.load().num_plans == populated_cache.num_plans
+
+    def test_partial_write_tail_never_reaches_destination(
+        self, populated_cache, tmp_path, monkeypatch
+    ):
+        # A worker dying mid-write leaves a short tail in the *temp*
+        # file; the destination must keep the previous complete dump.
+        path = tmp_path / "cache.json"
+        snapshot = CacheSnapshot(str(path))
+        snapshot.save(populated_cache)
+        before = path.read_bytes()
+
+        real_fdopen = os.fdopen
+
+        def truncating_fdopen(fd, *args, **kwargs):
+            f = real_fdopen(fd, *args, **kwargs)
+            real_write = f.write
+
+            def short_write(text):
+                real_write(text[: len(text) // 3])
+                raise OSError("simulated power loss mid-write")
+
+            f.write = short_write
+            return f
+
+        monkeypatch.setattr(os, "fdopen", truncating_fdopen)
+        with pytest.raises(OSError, match="power loss"):
+            snapshot.save(populated_cache)
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        assert snapshot.load().num_plans == populated_cache.num_plans
+        assert [p for p in os.listdir(tmp_path) if p.endswith(".tmp")] == []
+
+    def test_partial_tail_on_disk_is_rejected_not_loaded(
+        self, populated_cache, tmp_path
+    ):
+        # Defense in depth: if a torn dump *does* land on disk (e.g. a
+        # non-atomic copy), the loader refuses it rather than restoring
+        # a prefix of the cache.
+        path = tmp_path / "cache.json"
+        snapshot = CacheSnapshot(str(path))
+        snapshot.save(populated_cache)
+        text = path.read_text()
+        for cut in (len(text) - 1, len(text) - 7, len(text) // 2):
+            path.write_text(text[:cut])
+            with pytest.raises(CacheCorruptionError):
+                snapshot.load()
+            assert snapshot.load_or_none() is None
+
+    def test_concurrent_reader_sees_old_or_new_never_torn(
+        self, populated_cache, tmp_path
+    ):
+        # Readers racing a save must observe a complete document —
+        # either generation, never a blend — because the publish is a
+        # single rename.  Loop load() in a thread while the main thread
+        # alternates saves of two distinguishable caches.
+        import threading
+
+        from repro.core.plan_cache import PlanCache
+
+        path = tmp_path / "cache.json"
+        snapshot = CacheSnapshot(str(path))
+        empty = PlanCache()
+        snapshot.save(populated_cache)
+
+        valid_counts = {0, populated_cache.num_plans}
+        seen: list[int] = []
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    seen.append(snapshot.load().num_plans)
+                except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                    errors.append(exc)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        try:
+            for i in range(30):
+                snapshot.save(empty if i % 2 else populated_cache)
+        finally:
+            stop.set()
+            t.join(timeout=30)
+        assert not errors, f"reader saw a torn snapshot: {errors[:3]}"
+        assert seen and set(seen) <= valid_counts
+
+    def test_load_or_none_missing_file(self, tmp_path):
+        assert CacheSnapshot(str(tmp_path / "absent.json")).load_or_none() is None
+
+    def test_load_or_none_round_trip(self, populated_cache, tmp_path):
+        path = tmp_path / "cache.json"
+        snapshot = CacheSnapshot(str(path))
+        snapshot.save(populated_cache)
+        restored = snapshot.load_or_none()
+        assert restored is not None
+        assert restored.num_plans == populated_cache.num_plans
+
+
+class TestAdopt:
+    def test_adopt_replaces_contents_in_place(self, populated_cache):
+        from repro.core.plan_cache import PlanCache
+
+        live = PlanCache()
+        held = live  # aliases held by get_plan/manage_cache/spatial index
+        restored = load_cache(dump_cache(populated_cache))
+        live.adopt(restored)
+        assert held is live
+        assert live.num_plans == populated_cache.num_plans
+        assert live.num_instances == populated_cache.num_instances
+
+    def test_adopt_advances_epoch_past_stale_views(self, populated_cache):
+        from repro.core.plan_cache import PlanCache
+
+        live = PlanCache()
+        stale = live.snapshot()
+        live.adopt(load_cache(dump_cache(populated_cache)))
+        assert live.snapshot().epoch > stale.epoch
+        assert len(live.snapshot().entries) == populated_cache.num_instances
+
+    def test_adopt_notifies_instance_listeners(self, populated_cache):
+        from repro.core.plan_cache import PlanCache
+
+        live = PlanCache()
+        added = []
+        live.on_instance_added.append(added.append)
+        live.adopt(load_cache(dump_cache(populated_cache)))
+        assert len(added) == populated_cache.num_instances

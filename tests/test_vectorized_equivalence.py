@@ -255,6 +255,72 @@ def test_vectorized_serving_has_zero_live_lambda_violations():
     assert obs.audit.total_violations == 0
 
 
+def test_differential_usage_order_under_live_mutation():
+    """USAGE candidate order stays scalar-identical while usage counters
+    move underneath the memoized rank (commits bump ``usage_version``,
+    which must invalidate the columnar rank without an epoch bump)."""
+    rng = random.Random(12)
+    cache = build_cache(rng, 70, 3)
+    scalar = GetPlan(
+        cache=cache, lam=1.4, check_impl="scalar",
+        candidate_order=CandidateOrder.USAGE, max_recost_candidates=4,
+    )
+    vectorized = GetPlan(
+        cache=cache, lam=1.4, check_impl="vectorized",
+        candidate_order=CandidateOrder.USAGE, max_recost_candidates=4,
+    )
+    recost = make_recost(7)
+    entries = list(cache.instances())
+    epoch_before = cache.epoch
+    for t in range(200):
+        sv = random_input(rng, 3, False)
+        ds = scalar.probe(sv, recost)
+        dv = vectorized.probe(sv, recost)
+        assert_decisions_identical(ds, dv, f"usage-mutation t={t}")
+        # Mutate usage the way live commits do: entry counter + version
+        # bump via touch() — never an epoch bump.
+        if rng.random() < 0.4:
+            entry = rng.choice(entries)
+            entry.usage += rng.randint(1, 5)
+            cache.touch(entry.plan_id)
+    assert cache.epoch == epoch_before  # usage edits must not invalidate views
+    assert scalar.entries_scanned == vectorized.entries_scanned
+
+
+def test_usage_rank_memo_reuses_until_version_changes():
+    rng = random.Random(3)
+    cache = build_cache(rng, 30, 2, retire_fraction=0.0)
+    view = cache.columnar()
+    r1 = view.usage_rank(cache.usage_version)
+    assert view.usage_rank(cache.usage_version) is r1  # memo hit
+    first = next(cache.instances())
+    first.usage += 100
+    cache.usage_version += 1
+    r2 = view.usage_rank(cache.usage_version)
+    assert r2 is not r1
+    assert r2[0] == 0  # now the most-used row ranks first
+
+
+def test_sv_sq_memo_matches_unmemoized_corners():
+    import numpy as np
+
+    from repro.core.columnar import corner_gl_matrix, corner_matrix
+
+    rng = random.Random(8)
+    cache = build_cache(rng, 25, 4, retire_fraction=0.0)
+    view = cache.columnar()
+    assert view.sv_sq is view.sv_sq  # cached_property: built once
+    lo = np.array([[10 ** rng.uniform(-4, -1) for _ in range(4)]])
+    hi = lo * 3.0
+    assert np.array_equal(
+        corner_matrix(view.sv, lo, hi),
+        corner_matrix(view.sv, lo, hi, view.sv_sq),
+    )
+    g0, l0 = corner_gl_matrix(view.sv, lo, hi)
+    g1, l1 = corner_gl_matrix(view.sv, lo, hi, view.sv_sq)
+    assert np.array_equal(g0, g1) and np.array_equal(l0, l1)
+
+
 def test_scalar_fallback_when_requested():
     cache = PlanCache()
     gp = GetPlan(cache=cache, lam=2.0, check_impl="scalar")
