@@ -301,6 +301,167 @@ def test_chaos_gate(tmp_path):
             json.dump(summary, fh, indent=2, sort_keys=True)
 
 
+def test_slo_burn_gate(tmp_path):
+    """SLO burn-rate acceptance over a real spawned-worker cluster.
+
+    Three wall-clock windows against one supervisor with overload
+    protection and distributed tracing on:
+
+    * **calm** — paced, cache-warm traffic: zero alerts fire;
+    * **overload** — a flood of never-seen sVectors saturates the
+      optimizer admission gate, so misses are served uncertified /
+      shed and the certified-fraction SLO burns through its budget:
+      the multi-window alert must fire (a seeded kill lands mid-flood
+      so the window also covers retried-on-peer traffic);
+    * **recovery** — paced warm traffic again: the short window cools
+      and the alert clears without operator action.
+
+    Windows are scaled to benchmark time (3 s / 0.75 s) the same way
+    the cluster scales heartbeats; the semantics under test — fire on
+    sustained burn, hold through noise, clear on recovery — are window-
+    size-independent.  With ``CLUSTER_CHAOS_ARTIFACT_DIR`` set, writes
+    the SLO report and a rendered trace tree of one retried request.
+    """
+    from repro.obs import (
+        BurnWindow,
+        build_tree,
+        certified_fraction_objective,
+        explain_trace,
+        format_explanation,
+        render_tree,
+    )
+
+    warm_m = 20
+    flood_m = 200
+    streams = {
+        t.name: instances_for_template(t, warm_m, seed=1) for t in TEMPLATES
+    }
+    flood_streams = {
+        t.name: instances_for_template(t, flood_m, seed=99) for t in TEMPLATES
+    }
+    # λ is deliberately tight: at the usual λ=2 the warm SCR cache
+    # certifies nearly any fresh sVector without an optimizer call, so
+    # no flood could ever pressure the admission gate.  At λ=1.05 fresh
+    # points miss, and each miss pays the simulated 50 ms optimize —
+    # the flood saturates the gate and misses degrade to uncertified.
+    supervisor = ClusterSupervisor(
+        TEMPLATES, num_workers=2, snapshot_dir=str(tmp_path),
+        policy=POLICY, lam=1.05, db_scale=DB_SCALE, db_seed=DB_SEED,
+        heartbeat_interval=0.1, snapshot_interval=0.25,
+        overload=True, trace=True,
+        optimize_seconds=0.05, recost_seconds=0.002,
+    )
+    windows = (
+        BurnWindow("fast", long_s=3.0, short_s=0.75, burn_threshold=3.0),
+    )
+    supervisor.start()
+    injector = ProcessFaultInjector(supervisor, seed=5)
+    try:
+        # Warm every template so calm traffic is all cache hits.
+        _await_all(_submit_replay(supervisor, streams, 0, warm_m))
+        supervisor.attach_slo(
+            (certified_fraction_objective(
+                target=0.9, windows=windows, source="supervisor",
+            ),),
+            min_interval_s=0.05,
+        )
+        slo = supervisor.obs.slo
+
+        # -- calm window: paced warm traffic, zero false alerts -------------
+        calm_deadline = time.monotonic() + 2 * windows[0].long_s
+        idx = 0
+        while time.monotonic() < calm_deadline:
+            _await_all(_submit_replay(
+                supervisor, streams, idx % warm_m, idx % warm_m + 1
+            ))
+            idx += 1
+            time.sleep(0.05)
+        assert slo.alerts_fired() == 0, (
+            f"false alert during the calm window: {slo.report()}"
+        )
+
+        # -- overload window: flood of misses saturates the gate ------------
+        futures = []
+        killed = False
+        flood_deadline = time.monotonic() + 4 * windows[0].long_s
+        lo = 0
+        while time.monotonic() < flood_deadline and lo < flood_m:
+            for i in range(lo, min(lo + 40, flood_m)):
+                for template in TEMPLATES:
+                    futures.append(supervisor.submit(
+                        template.name,
+                        flood_streams[template.name][i].sv.values,
+                        sequence_id=i,
+                    ))
+            lo += 40
+            if lo >= 80 and not killed:
+                injector.inject("kill")     # retries ride the same burn
+                killed = True
+            time.sleep(0.1)
+        _wait_for(
+            lambda: slo.active_alerts().get("certified_fraction", False),
+            timeout=20.0,
+            what="certified-fraction burn alert to fire under overload",
+        )
+        _await_all(futures)
+
+        # -- recovery window: paced warm traffic clears the alert -----------
+        recover_deadline = time.monotonic() + 20.0
+        while time.monotonic() < recover_deadline:
+            _await_all(_submit_replay(
+                supervisor, streams, idx % warm_m, idx % warm_m + 1
+            ))
+            idx += 1
+            if not slo.active_alerts()["certified_fraction"]:
+                break
+            time.sleep(0.05)
+        assert not slo.active_alerts()["certified_fraction"], (
+            "burn alert failed to clear after recovery"
+        )
+        kinds = [e.kind for e in slo.alert_events]
+        assert kinds[0] == "fire" and "clear" in kinds
+        assert slo.alerts_fired("certified_fraction") >= 1
+
+        report = supervisor.cluster_report()
+        assert "slo" in report
+        # Alert state also rides the merged exposition for scrapers.
+        assert "repro_slo_alerts_total" in supervisor.prometheus()
+
+        # A retried-on-peer request from the flood, as one trace tree.
+        retried_spans = None
+        for fut in futures:
+            spans = supervisor.trace_spans(fut.trace_id)
+            if any(
+                s.name == "cluster.dispatch"
+                and s.attrs.get("outcome") == "worker_died"
+                for s in spans
+            ):
+                retried_spans = spans
+                break
+        if retried_spans is not None:
+            assert len(build_tree(retried_spans)) == 1
+
+        artifact_dir = os.environ.get("CLUSTER_CHAOS_ARTIFACT_DIR")
+        if artifact_dir:
+            os.makedirs(artifact_dir, exist_ok=True)
+            with open(
+                os.path.join(artifact_dir, "chaos_slo_report.json"),
+                "w", encoding="utf-8",
+            ) as fh:
+                json.dump(report["slo"], fh, indent=2, sort_keys=True)
+            tree_spans = retried_spans or supervisor.trace_spans(
+                futures[-1].trace_id
+            )
+            with open(
+                os.path.join(artifact_dir, "chaos_trace_tree.txt"),
+                "w", encoding="utf-8",
+            ) as fh:
+                fh.write(render_tree(tree_spans) + "\n\n")
+                fh.write(format_explanation(explain_trace(tree_spans)) + "\n")
+    finally:
+        supervisor.close()
+
+
 def _fleet_sum(supervisor) -> int:
     return sum(h.optimizer_calls for h in supervisor.workers.values())
 

@@ -36,6 +36,9 @@ SEED = 97
 NUM_WORKERS = 8
 INSTANCES_PER_TEMPLATE = 40
 MIN_SPEEDUP = 3.0
+#: Distributed tracing must stay within this fraction of the untraced
+#: serving wall-clock (the CI tracing-overhead gate).
+MAX_TRACING_OVERHEAD = 0.05
 
 LATENCY = dict(
     optimize_seconds=0.010,
@@ -121,7 +124,7 @@ def run_serial(templates, workload):
     return time.perf_counter() - start, db, choices
 
 
-def run_concurrent(templates, workload):
+def run_concurrent(templates, workload, spans_enabled=True):
     db = Database.create(serving_schema(), seed=11)
     # The observability handle sits in the measured path: the speedup
     # acceptance below therefore also bounds its serving overhead.
@@ -129,7 +132,7 @@ def run_concurrent(templates, workload):
         database=db,
         max_workers=NUM_WORKERS,
         engine_wrapper=simulated_latency_wrapper(**LATENCY),
-        obs=Observability(),
+        obs=Observability(spans_enabled=spans_enabled),
     )
     for t in templates:
         manager.register(t, lam=LAM)
@@ -205,4 +208,55 @@ def test_concurrent_serving_throughput(benchmark):
     assert row["speedup"] >= MIN_SPEEDUP, (
         f"8-worker serving speedup {row['speedup']:.2f}× below the "
         f"{MIN_SPEEDUP}× acceptance threshold"
+    )
+
+
+def measure_tracing_overhead():
+    """The same concurrent workload served twice: spans off, spans on.
+
+    Per-request tracing records ~6 spans (serving.process, queue wait,
+    scr.* checks, engine.* calls) plus contextvar propagation across the
+    shard pool; the gate asserts all of it costs ≤5% wall-clock against
+    the engine-latency-dominated baseline.
+    """
+    templates = serving_templates()
+    workload = make_workload(templates, INSTANCES_PER_TEMPLATE, SEED)
+    # Interleave off/on runs so drift (thermal, page cache) cancels.
+    off_s, on_s, span_count = [], [], 0
+    for _ in range(2):
+        elapsed, _, manager, _ = run_concurrent(
+            templates, workload, spans_enabled=False
+        )
+        off_s.append(elapsed)
+        assert len(manager.obs.spans) == 0
+        elapsed, _, manager, _ = run_concurrent(
+            templates, workload, spans_enabled=True
+        )
+        on_s.append(elapsed)
+        span_count = len(manager.obs.spans)
+    baseline, traced = min(off_s), min(on_s)
+    return {
+        "instances": len(workload),
+        "untraced_s": baseline,
+        "traced_s": traced,
+        "overhead": traced / baseline - 1.0,
+        "spans_recorded": span_count,
+        "spans_per_request": span_count / len(workload),
+    }
+
+
+def test_tracing_overhead(benchmark):
+    row = run_once(benchmark, measure_tracing_overhead)
+    print()
+    print(format_table(
+        [row], title="Tracing overhead: spans on vs off (concurrent serving)"
+    ))
+    assert row["spans_recorded"] > 0, "tracing run recorded no spans"
+    assert row["spans_per_request"] >= 2.0, (
+        "each served request should record at least its serving.process "
+        "span and one decision-procedure child"
+    )
+    assert row["overhead"] <= MAX_TRACING_OVERHEAD, (
+        f"tracing overhead {row['overhead']:.1%} exceeds the "
+        f"{MAX_TRACING_OVERHEAD:.0%} budget"
     )

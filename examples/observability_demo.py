@@ -181,6 +181,19 @@ def main() -> None:
     for line in prom_path.read_text().splitlines()[:6]:
         print(f"  {line}")
 
+    # -- forensics: one request's causal story ---------------------------
+    from repro.obs import explain_trace, format_explanation, render_tree, traces_in
+
+    traces = {
+        tid: spans for tid, spans in traces_in(obs.spans.spans()).items() if tid
+    }
+    if traces:
+        tid, spans = next(reversed(traces.items()))
+        print("\nOne request, end to end (python -m repro trace --explain):")
+        print(render_tree(spans))
+        print()
+        print(format_explanation(explain_trace(spans)))
+
     print("\nRun completed: guarantee audited live, zero λ violations.")
 
 

@@ -234,6 +234,103 @@ def cmd_obs_report(args) -> None:
         print(f"wrote {rows_written} spans to {args.spans}")
 
 
+def cmd_trace(args) -> None:
+    import json
+
+    from .obs import (
+        Observability,
+        explain_trace,
+        format_explanation,
+        load_spans_jsonl,
+        render_tree,
+        traces_in,
+        write_spans_jsonl,
+    )
+
+    if args.file:
+        spans = load_spans_jsonl(args.file)
+        obs = None
+    else:
+        from .serving import ConcurrentPQOManager, simulated_latency_wrapper
+        from .workload import instances_for_template
+
+        template = _find_template(args.template)
+        db = get_database(template.database, scale=0.4)
+        obs = Observability()
+        manager = ConcurrentPQOManager(
+            database=db,
+            max_workers=args.workers,
+            engine_wrapper=simulated_latency_wrapper(
+                optimize_seconds=0.004, recost_seconds=0.0004
+            ),
+            obs=obs,
+        )
+        manager.register(template, lam=args.lam)
+        manager.process_many(
+            instances_for_template(template, args.m, seed=1), dedupe=False
+        )
+        manager.close()
+        spans = obs.spans.spans()
+
+    buckets = {
+        tid: rows for tid, rows in traces_in(spans).items() if tid
+    }
+    if not buckets:
+        raise SystemExit(
+            "no traced spans found (schema v1 file, or tracing was off)"
+        )
+
+    if args.explain is not None:
+        matches = [
+            rows for rows in buckets.values()
+            if any(s.attrs.get("seq") == args.explain
+                   and s.name in ("serving.process", "cluster.request")
+                   for s in rows)
+        ]
+        if not matches:
+            raise SystemExit(
+                f"no request with sequence id {args.explain} in "
+                f"{len(buckets)} trace(s)"
+            )
+        for rows in matches:
+            info = explain_trace(rows)
+            if args.json:
+                print(json.dumps(info, indent=2, sort_keys=True))
+            else:
+                print(format_explanation(info))
+                print()
+                print(render_tree(rows))
+    else:
+        shown = list(buckets.items())
+        if args.trace:
+            shown = [
+                (tid, rows) for tid, rows in shown
+                if tid.startswith(args.trace)
+            ]
+            if not shown:
+                raise SystemExit(f"no trace matching {args.trace!r}")
+        elif args.limit > 0:
+            shown = shown[: args.limit]
+        if args.json:
+            print(json.dumps(
+                [explain_trace(rows) for _, rows in shown],
+                indent=2, sort_keys=True,
+            ))
+        else:
+            for i, (tid, rows) in enumerate(shown):
+                if i:
+                    print()
+                print(f"trace {tid}")
+                print(render_tree(rows))
+            hidden = len(buckets) - len(shown)
+            if hidden > 0:
+                print(f"\n({hidden} more trace(s); use --limit 0 for all, "
+                      "--explain SEQ for one request's story)")
+    if obs is not None and args.spans_out:
+        rows_written = write_spans_jsonl(obs.spans, args.spans_out)
+        print(f"\nwrote {rows_written} spans to {args.spans_out}")
+
+
 def cmd_serve(args) -> None:
     import json
     import tempfile
@@ -359,6 +456,29 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument("--json", action="store_true",
                             help="dump the full report as JSON instead")
     obs_report.set_defaults(func=cmd_obs_report)
+
+    trace = sub.add_parser(
+        "trace",
+        help="render span trees / explain one request's guarantee",
+    )
+    trace.add_argument("--template", default="tpch_shipping_priority")
+    trace.add_argument("--m", type=int, default=8)
+    trace.add_argument("--lam", type=float, default=2.0)
+    trace.add_argument("--workers", type=int, default=4)
+    trace.add_argument("--file", metavar="SPANS_JSONL", default=None,
+                       help="explain an existing spans file instead of "
+                            "serving a demo workload")
+    trace.add_argument("--trace", metavar="TRACE_ID", default=None,
+                       help="show only the trace with this ID (prefix ok)")
+    trace.add_argument("--explain", type=int, metavar="SEQ", default=None,
+                       help="explain the request with this sequence id")
+    trace.add_argument("--limit", type=int, default=3,
+                       help="trace trees to render (0 = all)")
+    trace.add_argument("--spans-out", metavar="FILE", default=None,
+                       help="also write the demo's spans as JSONL")
+    trace.add_argument("--json", action="store_true",
+                       help="emit structured explanations as JSON")
+    trace.set_defaults(func=cmd_trace)
 
     serve = sub.add_parser("serve")
     serve.add_argument("--workers", type=int, default=4)

@@ -31,6 +31,9 @@ from typing import Optional
 from ..obs import Observability
 from ..obs.clock import SYSTEM_CLOCK, Clock
 from ..obs.exporters import merge_labeled_snapshots, snapshot_to_prometheus
+from ..obs.slo import cluster_objectives
+from ..obs.spans import Span
+from ..obs.tracectx import activate, start_trace
 from ..query.template import QueryTemplate
 from .router import DEFAULT_VNODES, HashRing
 from .transport import (
@@ -81,6 +84,11 @@ class SupervisorPolicy:
     #: Graceful-drain budget at shutdown before terminating stragglers.
     drain_timeout: float = 10.0
     vnodes: int = DEFAULT_VNODES
+    #: Dead (worker, incarnation) registry snapshots kept verbatim per
+    #: worker; older dead incarnations merge into one tombstone row so
+    #: a flapping worker cannot grow the history without bound while the
+    #: merged exposition stays monotone across crashes.
+    registry_retention: int = 2
 
 
 class ProcessLauncher:
@@ -123,6 +131,14 @@ class _Pending:
     future: object
     request: Request
     worker_id: str
+    # -- trace state (None / 0.0 when the supervisor runs spans-off) ----------
+    #: Root context minted at submit; owns the ``cluster.request`` span.
+    ctx: object = None
+    #: Child context for the current dispatch attempt; its span_id rides
+    #: the wire as ``Request.parent_span_id``.
+    dispatch_ctx: object = None
+    submitted_at: float = 0.0
+    dispatched_at: float = 0.0
 
 
 @dataclass
@@ -182,7 +198,16 @@ class ClusterSupervisor:
         self.policy = policy if policy is not None else SupervisorPolicy()
         self.launcher = launcher if launcher is not None else ProcessLauncher()
         self.clock = clock
-        self.obs = obs if obs is not None else Observability(clock=clock)
+        # ``trace=True`` in spec_kwargs turns on distributed tracing end
+        # to end: it reaches every WorkerSpec (workers record + ship
+        # spans) and enables the supervisor's own recorder, which holds
+        # the connected cross-process tree.
+        self._trace = bool(spec_kwargs.get("trace", False)) or (
+            obs is not None and obs.spans.enabled
+        )
+        self.obs = obs if obs is not None else Observability(
+            clock=clock, spans_enabled=self._trace
+        )
         self._spec_kwargs = spec_kwargs
         self.snapshot_dir = snapshot_dir
         self.workers: dict[str, WorkerHandle] = {}
@@ -203,6 +228,11 @@ class ClusterSupervisor:
         self._registry_history: dict[tuple[str, int], dict] = {}
         self._outcome_history: dict[tuple[str, int], dict] = {}
         self._violation_history: dict[tuple[str, int], int] = {}
+        # Per-worker merged remains of dead incarnations beyond the
+        # retention window (see SupervisorPolicy.registry_retention).
+        self._registry_tombstones: dict[str, dict] = {}
+        self._outcome_tombstones: dict[str, dict] = {}
+        self._violation_tombstones: dict[str, int] = {}
         self._monitor: Optional[threading.Thread] = None
         self._stopping = threading.Event()
         self._closed = False
@@ -312,19 +342,47 @@ class ClusterSupervisor:
             )
             self._next_request_id += 1
             self.submitted += 1
-            if not self._dispatch(fut, request):
-                self._resolve_lost(fut, request, "no routable workers")
+            ctx = submitted_at = None
+            if self._trace:
+                ctx = start_trace(ids=self.obs.spans.ids)
+                submitted_at = self.clock.monotonic()
+            # The caller's handle into forensics: every future knows the
+            # trace its request belongs to ("" when tracing is off).
+            fut.trace_id = ctx.trace_id if ctx is not None else ""
+            if not self._dispatch(fut, request, ctx=ctx,
+                                  submitted_at=submitted_at or 0.0):
+                self._resolve_lost(
+                    fut, request, "no routable workers",
+                    ctx=ctx, submitted_at=submitted_at or 0.0,
+                )
         return fut
 
-    def _dispatch(self, fut, request: Request) -> bool:
+    def _dispatch(
+        self, fut, request: Request, ctx=None, submitted_at: float = 0.0
+    ) -> bool:
         """Send to the ring owner among routable workers; False if none."""
         alive = [w for w, h in self.workers.items() if h.routable]
         if not alive:
             return False
         owner = self.ring.owner(request.template_name, alive)
         handle = self.workers[owner]
+        dispatch_ctx = None
+        dispatched_at = 0.0
+        if ctx is not None:
+            # One cluster.dispatch span per attempt: the worker parents
+            # its spans under this attempt's ID, so a re-dispatch after
+            # a death grows a *sibling* subtree in the same trace.
+            dispatch_ctx = ctx.child(self.obs.spans.ids)
+            dispatched_at = self.clock.monotonic()
+            request = replace(
+                request,
+                trace_id=ctx.trace_id,
+                parent_span_id=dispatch_ctx.span_id,
+            )
         self._pending[request.request_id] = _Pending(
-            future=fut, request=request, worker_id=owner
+            future=fut, request=request, worker_id=owner,
+            ctx=ctx, dispatch_ctx=dispatch_ctx,
+            submitted_at=submitted_at, dispatched_at=dispatched_at,
         )
         try:
             handle.request_q.put(request)
@@ -332,15 +390,73 @@ class ClusterSupervisor:
             # Queue died with the worker between checks; treat as death.
             del self._pending[request.request_id]
             self._declare_dead(handle, reason="queue_closed")
-            return self._dispatch(fut, request)
+            return self._dispatch(fut, request, ctx=ctx,
+                                  submitted_at=submitted_at)
         return True
 
-    def _resolve_lost(self, fut, request: Request, detail: str) -> None:
+    # -- span emission (no-ops when tracing is off) ---------------------------
+
+    def _record_dispatch(
+        self, pending: _Pending, worker_id: str, incarnation: int,
+        outcome: str,
+    ) -> None:
+        if pending.dispatch_ctx is None:
+            return
+        now = self.clock.monotonic()
+        with activate(pending.dispatch_ctx):
+            self.obs.spans.record(
+                "cluster.dispatch",
+                pending.dispatched_at,
+                now - pending.dispatched_at,
+                span_id=pending.dispatch_ctx.span_id,
+                worker=worker_id,
+                incarnation=incarnation,
+                attempt=pending.request.attempt,
+                outcome=outcome,
+            )
+
+    def _record_root(
+        self, ctx, submitted_at: float, request: Request, outcome: str,
+        **attrs,
+    ) -> None:
+        if ctx is None:
+            return
+        now = self.clock.monotonic()
+        with activate(ctx):
+            self.obs.spans.record(
+                "cluster.request",
+                submitted_at,
+                now - submitted_at,
+                span_id=ctx.span_id,
+                template=request.template_name,
+                seq=request.sequence_id,
+                outcome=outcome,
+                attempts=request.attempt + 1,
+                **attrs,
+            )
+
+    def _ingest_worker_spans(self, message: Response) -> None:
+        if not self._trace or not message.spans:
+            return
+        for row in message.spans:
+            try:
+                self.obs.spans.ingest(Span.from_jsonable(row))
+            except (AttributeError, KeyError, TypeError, ValueError):
+                continue  # a malformed row must not poison the pump
+
+    def _resolve_lost(
+        self, fut, request: Request, detail: str,
+        ctx=None, submitted_at: float = 0.0,
+    ) -> None:
         self._lost.inc()
         audit = self.obs.audit
         audit.response(request.template_name, "shed")
         audit.certificate(request.template_name, "shed")
         audit.degraded(request.template_name, "shed", "worker_lost")
+        self._record_root(
+            ctx, submitted_at, request, "shed",
+            reason="worker_lost", detail=detail,
+        )
         if not fut.done():
             fut.set_exception(WorkerLostError("-", detail))
 
@@ -412,6 +528,21 @@ class ClusterSupervisor:
         if pending is None:
             return  # late duplicate after a re-route already resolved it
         self._account_response(message)
+        if pending.ctx is not None:
+            self._ingest_worker_spans(message)
+            if message.ok and message.certified:
+                outcome = "certified"
+            elif message.ok:
+                outcome = "uncertified"
+            else:
+                outcome = "shed"
+            self._record_dispatch(
+                pending, message.worker_id, message.incarnation, "response"
+            )
+            self._record_root(
+                pending.ctx, pending.submitted_at, pending.request, outcome,
+                worker=message.worker_id,
+            )
         if not pending.future.done():
             pending.future.set_result(message)
 
@@ -451,8 +582,25 @@ class ClusterSupervisor:
 
     # -- liveness / recovery --------------------------------------------------
 
+    def attach_slo(self, objectives=None, min_interval_s: float = 0.2):
+        """Attach burn-rate SLOs over the merged cluster view.
+
+        Evaluated from :meth:`tick` (so the monitor thread keeps alerts
+        current) against :meth:`merged_snapshot`: outcome objectives
+        read the supervisor's authoritative ledger, latency reads every
+        (worker, incarnation) serving histogram — including dead
+        incarnations' retained counts, which is what makes the
+        differencing restart-proof.
+        """
+        return self.obs.attach_slo(
+            objectives if objectives is not None else cluster_objectives(),
+            min_interval_s=min_interval_s,
+        )
+
     def tick(self) -> None:
         """One liveness pass: detect deaths, fire due restarts."""
+        if self.obs.slo is not None:
+            self.obs.slo.evaluate(self.merged_snapshot())
         now = self.clock.monotonic()
         with self._lock:
             for handle in self.workers.values():
@@ -522,16 +670,25 @@ class ClusterSupervisor:
         stranded = [
             p for p in self._pending.values() if p.worker_id == dead_worker
         ]
+        dead_incarnation = self.workers[dead_worker].incarnation
         for pending in stranded:
             del self._pending[pending.request.request_id]
             request = pending.request
+            # The attempt that died still becomes a span: its worker's
+            # own spans are lost with the process, so this is the only
+            # record that incarnation ever held the request.
+            self._record_dispatch(
+                pending, dead_worker, dead_incarnation, "worker_died"
+            )
             if request.attempt < self.policy.max_retries:
                 retry = replace(request, attempt=request.attempt + 1)
-                if self._dispatch(pending.future, retry):
+                if self._dispatch(pending.future, retry, ctx=pending.ctx,
+                                  submitted_at=pending.submitted_at):
                     self._retries.inc()
                     continue
             self._resolve_lost(
-                pending.future, request, f"worker {dead_worker} died"
+                pending.future, request, f"worker {dead_worker} died",
+                ctx=pending.ctx, submitted_at=pending.submitted_at,
             )
 
     def _restart(self, handle: WorkerHandle, now: float) -> None:
@@ -545,7 +702,81 @@ class ClusterSupervisor:
         )
         handle.restarts += 1
         self._restarts.labels(worker=handle.worker_id).inc()
+        self._compact_history(handle.worker_id, handle.incarnation)
         self._launch(handle, now)
+
+    # -- dead-incarnation history retention -----------------------------------
+
+    def _compact_history(self, worker_id: str, live_incarnation: int) -> None:
+        """Fold old dead incarnations into the worker's tombstone row.
+
+        Keeps the newest ``policy.registry_retention`` dead incarnations
+        verbatim (their per-incarnation series stay individually visible
+        in the merged exposition); everything older is merged — counters
+        and histograms sum, gauges keep the newest value — so totals
+        stay monotone while per-worker history stays O(retention).
+        """
+        keep = max(0, self.policy.registry_retention)
+        dead = sorted(
+            inc for (wid, inc) in self._registry_history
+            if wid == worker_id and inc < live_incarnation
+        )
+        for inc in dead[:max(0, len(dead) - keep)]:
+            key = (worker_id, inc)
+            self._merge_snapshot_into(
+                self._registry_tombstones.setdefault(worker_id, {}),
+                self._registry_history.pop(key),
+            )
+            outcomes = self._outcome_tombstones.setdefault(worker_id, {})
+            for name, count in self._outcome_history.pop(key, {}).items():
+                outcomes[name] = outcomes.get(name, 0) + count
+            self._violation_tombstones[worker_id] = (
+                self._violation_tombstones.get(worker_id, 0)
+                + self._violation_history.pop(key, 0)
+            )
+
+    @staticmethod
+    def _merge_snapshot_into(acc: dict, snapshot: dict) -> None:
+        """Sum one registry snapshot into an accumulated tombstone."""
+        for name, family in snapshot.items():
+            kind = family.get("kind", "counter")
+            target = acc.setdefault(name, {
+                "kind": kind, "help": family.get("help", ""), "series": [],
+            })
+            index = {
+                tuple(sorted(row.get("labels", {}).items())): row
+                for row in target["series"]
+            }
+            for row in family.get("series", []):
+                key = tuple(sorted(row.get("labels", {}).items()))
+                into = index.get(key)
+                if into is None:
+                    copied = {k: v for k, v in row.items()}
+                    copied["labels"] = dict(row.get("labels", {}))
+                    if "buckets" in copied:
+                        copied["buckets"] = [
+                            list(pair) for pair in copied["buckets"]
+                        ]
+                    index[key] = copied
+                    target["series"].append(copied)
+                elif kind == "gauge":
+                    into["value"] = row.get("value", 0.0)
+                elif "buckets" in row:
+                    into["count"] = into.get("count", 0) + row.get("count", 0)
+                    into["sum"] = into.get("sum", 0.0) + row.get("sum", 0.0)
+                    counts = {
+                        str(edge): c for edge, c in into.get("buckets", [])
+                    }
+                    for edge, c in row.get("buckets", []):
+                        counts[str(edge)] = counts.get(str(edge), 0) + c
+                    into["buckets"] = [
+                        [edge, counts[str(edge)]]
+                        for edge, _ in row.get("buckets", [])
+                    ]
+                else:
+                    into["value"] = (
+                        into.get("value", 0.0) + row.get("value", 0.0)
+                    )
 
     def _update_worker_gauge(self) -> None:
         counts = {state: 0 for state in WorkerState}
@@ -559,7 +790,24 @@ class ClusterSupervisor:
     def worker_lambda_violations(self) -> int:
         """Σ of every incarnation's last-reported λ-violation count."""
         with self._lock:
-            return sum(self._violation_history.values())
+            return sum(self._violation_history.values()) + sum(
+                self._violation_tombstones.values()
+            )
+
+    def trace_spans(self, trace_id: str) -> list:
+        """Every retained span of one trace (supervisor + re-ingested
+        worker spans), in recording order — the forensics input."""
+        return self.obs.spans.trace(trace_id)
+
+    def merged_snapshot(self) -> dict:
+        """Supervisor + workers + tombstones as one labeled snapshot."""
+        with self._lock:
+            sources = {"supervisor": self.obs.registry.snapshot()}
+            for (wid, inc), snapshot in sorted(self._registry_history.items()):
+                sources[f"{wid}:{inc}"] = snapshot
+            for wid, snapshot in sorted(self._registry_tombstones.items()):
+                sources[f"{wid}:tomb"] = snapshot
+        return merge_labeled_snapshots(sources)
 
     def cluster_report(self) -> dict:
         """One health view: fleet table + cluster-wide accounting."""
@@ -592,8 +840,17 @@ class ClusterSupervisor:
                 "retries": int(self.obs.registry.total(RETRIES_TOTAL)),
                 "worker_lost": int(self.obs.registry.total(WORKER_LOST_TOTAL)),
                 "supervisor_lambda_violations": audit.total_violations,
-                "worker_lambda_violations": self.worker_lambda_violations(),
+                "worker_lambda_violations": (
+                    sum(self._violation_history.values())
+                    + sum(self._violation_tombstones.values())
+                ),
+                "registry_incarnations": len(self._registry_history),
+                "registry_tombstones": len(self._registry_tombstones),
                 "snapshot_dir": self.snapshot_dir,
+                **(
+                    {"slo": self.obs.slo.report()}
+                    if self.obs.slo is not None else {}
+                ),
             }
 
     def prometheus(self) -> str:
@@ -605,11 +862,7 @@ class ClusterSupervisor:
         their last heartbeat's counts, so the exposition is monotone
         across crashes.
         """
-        with self._lock:
-            sources = {"supervisor": self.obs.registry.snapshot()}
-            for (wid, inc), snapshot in sorted(self._registry_history.items()):
-                sources[f"{wid}:{inc}"] = snapshot
-        return snapshot_to_prometheus(merge_labeled_snapshots(sources))
+        return snapshot_to_prometheus(self.merged_snapshot())
 
     # -- shutdown -------------------------------------------------------------
 

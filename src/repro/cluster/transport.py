@@ -42,6 +42,13 @@ class Request:
     sv: tuple[float, ...]
     sequence_id: int = -1
     attempt: int = 0
+    # -- trace context (empty when the supervisor runs spans-off) -------------
+    #: The supervisor-issued trace the worker's spans must join.
+    trace_id: str = ""
+    #: Supervisor-side span (the dispatch attempt) worker spans parent
+    #: under — a re-dispatch after a death carries a *different* parent
+    #: inside the *same* trace, so both incarnations' work stays one tree.
+    parent_span_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -72,6 +79,11 @@ class Response:
     # -- failure description (when not ok) ------------------------------------
     error_kind: str = ""      # "shed" | "shutdown" | "error"
     error_reason: str = ""
+    #: Worker-side spans for this request's trace, as jsonable rows
+    #: (``Span.to_jsonable``); the supervisor re-ingests them so one
+    #: recorder holds the connected cross-process tree.  Empty when the
+    #: worker runs spans-off.
+    spans: tuple = ()
 
 
 @dataclass(frozen=True)

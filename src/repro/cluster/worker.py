@@ -64,6 +64,10 @@ class WorkerSpec:
     #: Recost served plans at the served sVector and ship the cost in
     #: each response, so an external oracle can audit λ-certificates.
     verify: bool = False
+    #: Enable distributed tracing: the worker records spans under the
+    #: supervisor-issued trace context and ships each request's spans
+    #: back on its Response.
+    trace: bool = False
     # -- chaos hooks (seeded by the fault injector) ---------------------------
     #: Hard-exit (as if kill -9) after serving this many requests.
     die_after_requests: Optional[int] = None
@@ -110,9 +114,13 @@ class ClusterWorker:
         self._templates = {t.name: t for t in spec.templates}
         self._oracles: dict[str, Oracle] = {}
 
-        from ..obs import Observability
+        from ..obs import Observability, TraceCollector
 
-        self.obs = Observability(spans_enabled=False)
+        self.obs = Observability(spans_enabled=spec.trace)
+        self.collector: Optional[TraceCollector] = None
+        if spec.trace:
+            self.collector = TraceCollector()
+            self.obs.spans.attach_sink(self.collector)
         wrappers = [resilient_engine_factory(seed=spec.db_seed)]
         if spec.optimize_seconds or spec.recost_seconds:
             wrappers.append(simulated_latency_wrapper(
@@ -157,11 +165,31 @@ class ClusterWorker:
             sv=SelectivityVector.from_sequence(request.sv),
             sequence_id=request.sequence_id,
         )
-        fut = self.manager.submit(instance)
+        if self.spec.trace and request.trace_id:
+            # Re-establish the supervisor's context: the wire carries
+            # (trace, dispatch-span) and the manager's per-submission
+            # child context parents everything this worker records under
+            # that dispatch span — one connected tree across processes.
+            from ..obs.tracectx import TraceContext, activate
+
+            wire = TraceContext(
+                trace_id=request.trace_id,
+                span_id=request.parent_span_id,
+            )
+            with activate(wire):
+                fut = self.manager.submit(instance)
+        else:
+            fut = self.manager.submit(instance)
         fut.add_done_callback(lambda f: self._respond(request, f))
 
     def _respond(self, request: Request, fut) -> None:
         spec = self.spec
+        trace_spans: tuple = ()
+        if self.collector is not None and request.trace_id:
+            trace_spans = tuple(
+                span.to_jsonable()
+                for span in self.collector.pop(request.trace_id)
+            )
         exc = fut.exception()
         if exc is None:
             choice = fut.result()
@@ -186,6 +214,7 @@ class ClusterWorker:
                 used_optimizer=choice.used_optimizer,
                 recost_calls=choice.recost_calls,
                 plan_cost_at_sv=plan_cost,
+                spans=trace_spans,
             )
         else:
             if isinstance(exc, ShedError):
@@ -203,6 +232,7 @@ class ClusterWorker:
                 sequence_id=request.sequence_id,
                 error_kind=kind,
                 error_reason=reason,
+                spans=trace_spans,
             )
         self.requests_served += 1
         self.response_q.put(response)

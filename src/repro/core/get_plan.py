@@ -317,20 +317,32 @@ class GetPlan:
             decision, candidates, presorted = self._selectivity_phase_vectorized(
                 point, box, view, self._effective_cap(max_recost)
             )
+            scanned = len(view) if timed else 0
         else:
             if entries is None:
                 entries = self.cache.instances()
+            if timed and not isinstance(entries, (tuple, list)):
+                entries = tuple(entries)
             decision, candidates = self._selectivity_phase(point, box, entries)
             presorted = False
+            scanned = len(entries) if timed else 0
         if timed:
             # ``candidates`` counts the cost-check candidates actually
             # materialized: the vectorized miss path stops at the recost
             # cap (only that prefix is ever consumed), so its count can
             # read lower than the scalar scan's full survivor list.
+            attrs: dict = {
+                "hit": decision is not None, "candidates": len(candidates),
+                "scanned": scanned,
+            }
+            if decision is not None:
+                attrs["bound"] = round(decision.inferred_suboptimality, 6)
+                attrs["certificate"] = decision.certificate
+                if decision.coverage != 1.0:
+                    attrs["coverage"] = decision.coverage
             spans.record(
                 "scr.selectivity_check", start,
-                spans.clock.perf_counter() - start,
-                hit=decision is not None, candidates=len(candidates),
+                spans.clock.perf_counter() - start, **attrs,
             )
         if decision is not None:
             return decision
@@ -340,9 +352,15 @@ class GetPlan:
             point, box, recost, candidates, max_recost, presorted=presorted
         )
         if timed:
+            attrs = {"hit": decision.hit, "recost_calls": decision.recost_calls}
+            if decision.hit:
+                attrs["bound"] = round(decision.inferred_suboptimality, 6)
+                attrs["certificate"] = decision.certificate
+                if decision.coverage != 1.0:
+                    attrs["coverage"] = decision.coverage
             spans.record(
                 "scr.cost_check", start, spans.clock.perf_counter() - start,
-                hit=decision.hit, recost_calls=decision.recost_calls,
+                **attrs,
             )
         return decision
 

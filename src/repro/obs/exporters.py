@@ -22,6 +22,7 @@ from typing import IO, Iterable, Optional, Union
 
 from .registry import MetricsRegistry
 from .spans import Span, SpanRecorder
+from .tracectx import SPAN_SCHEMA_VERSION
 
 
 def _escape_label_value(value: str) -> str:
@@ -123,13 +124,26 @@ class JsonlWriter:
         self.close()
 
 
+def span_schema_header() -> dict:
+    """The header row prefixed to span JSONL dumps, so downstream
+    consumers can detect schema changes (v2 added the causal
+    trace_id/span_id/parent_id triple)."""
+    return {"schema": "repro.spans", "version": SPAN_SCHEMA_VERSION}
+
+
 def write_spans_jsonl(
     recorder: SpanRecorder,
     target: Union[str, IO[str]],
     include_timing: bool = True,
+    header: bool = True,
 ) -> int:
-    """One-shot dump of the recorder's retained spans; returns rows."""
+    """One-shot dump of the recorder's retained spans; returns rows
+    (the schema-version header line, emitted unless ``header=False``,
+    is not counted)."""
     with JsonlWriter(target, include_timing=include_timing) as writer:
+        if header:
+            writer.write(span_schema_header())
+            writer.rows_written -= 1
         for span in recorder.spans():
             writer.write(span)
         return writer.rows_written

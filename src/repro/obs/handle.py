@@ -27,6 +27,7 @@ ENGINE_RETRIES = "repro_engine_retries_total"
 ENGINE_DEGRADED = "repro_engine_degraded_total"
 BREAKER_TRANSITIONS = "repro_breaker_transitions_total"
 BREAKER_OPEN = "repro_breaker_open"
+SPAN_SINK_ERRORS = "repro_span_sink_errors_total"
 
 _APIS = ("optimize", "recost", "selectivity")
 
@@ -46,7 +47,12 @@ class Observability:
         self.spans = SpanRecorder(
             capacity=span_capacity, clock=clock, enabled=spans_enabled
         )
+        self.spans.sink_error_counter = self.registry.counter(
+            SPAN_SINK_ERRORS,
+            "Span sink callbacks that raised (isolated from the hot path)",
+        ).labels()
         self.audit = GuaranteeAudit(self.registry)
+        self.slo = None  # attached via attach_slo()
 
     # Convenience delegates so call sites read naturally.
 
@@ -69,17 +75,39 @@ class Observability:
 
         return to_prometheus(self.registry)
 
+    def attach_slo(self, objectives=None, clock: Optional[Clock] = None,
+                   min_interval_s: float = 0.0):
+        """Attach an SLO burn-rate evaluator over this registry.
+
+        Idempotent-ish: replaces any previous evaluator.  Returns the
+        :class:`~repro.obs.slo.SloEvaluator`.
+        """
+        from .slo import SloEvaluator, default_objectives
+
+        self.slo = SloEvaluator(
+            objectives if objectives is not None else default_objectives(),
+            registry=self.registry,
+            clock=clock if clock is not None else self.clock,
+            min_interval_s=min_interval_s,
+        )
+        return self.slo
+
     def report(self) -> dict[str, object]:
         """One JSON-serializable snapshot: outcomes, violations, spans."""
-        return {
+        report: dict[str, object] = {
             "outcomes": self.audit.outcome_totals(),
             "certificates": self.audit.certificate_totals(),
             "lambda_violations": self.audit.total_violations,
             "violation_events": list(self.audit.violation_events),
             "spans_recorded": self.spans.total_recorded,
             "spans_dropped": self.spans.dropped,
+            "span_sink_errors": self.spans.sink_errors,
             "metrics": self.registry.snapshot(),
         }
+        if self.slo is not None:
+            self.slo.evaluate()
+            report["slo"] = self.slo.report()
+        return report
 
 
 class EngineInstruments:

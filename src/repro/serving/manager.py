@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
-from contextlib import contextmanager, suppress
+from contextlib import contextmanager, nullcontext, suppress
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -36,6 +36,7 @@ from ..core.manager import PQOManager, TemplateState
 from ..core.technique import PlanChoice
 from ..engine.tracing import TraceLog
 from ..obs.handle import Observability, instrument_engine
+from ..obs.tracectx import TraceContext, activate, child_context, current_context
 from ..query.instance import QueryInstance
 from ..query.template import QueryTemplate
 from .overload import (
@@ -214,6 +215,21 @@ class ConcurrentPQOManager(PQOManager):
         self._note_processed(shard.state)
         return choice
 
+    def _mint_ctx(self) -> Optional[TraceContext]:
+        """The per-submission trace context (None with spans off).
+
+        A child of the submitter's ambient context when one exists —
+        the cluster worker's serve loop activates the wire context
+        around :meth:`submit`, so worker-side spans parent under the
+        supervisor's request span — or a fresh root otherwise.  Minted
+        *in the submitting thread*, then re-activated in whichever pool
+        thread serves the request: that is what survives the hand-off.
+        """
+        obs = self.obs
+        if obs is None or not obs.spans.enabled:
+            return None
+        return child_context(obs.spans.ids)
+
     def submit(
         self, instance: QueryInstance, deadline: Optional[Deadline] = None
     ) -> "Future[PlanChoice]":
@@ -233,6 +249,7 @@ class ConcurrentPQOManager(PQOManager):
                 f"template {instance.template_name!r} is not registered"
             )
         fut: "Future[PlanChoice]" = Future()
+        ctx = self._mint_ctx()
         ov = self._overload_coordinator
         entered = False
         if ov is not None:
@@ -247,21 +264,26 @@ class ConcurrentPQOManager(PQOManager):
                         detail=shard.state.template.name,
                     )
                 try:
-                    fut.set_result(
-                        self._process_on(
-                            shard, instance, deadline,
-                            overflow_reason="queue_full",
+                    with activate(ctx) if ctx is not None else nullcontext():
+                        fut.set_result(
+                            self._process_on(
+                                shard, instance, deadline,
+                                overflow_reason="queue_full",
+                            )
                         )
-                    )
                 except BaseException as exc:
                     fut.set_exception(exc)
                 return fut
         with self._futures_lock:
             self._outstanding.add(fut)
         fut.add_done_callback(self._forget_outstanding)
+        submitted_at = (
+            self.obs.clock.perf_counter() if ctx is not None else 0.0
+        )
         try:
             self._executor.submit(
-                self._run, fut, shard, instance, deadline, entered
+                self._run, fut, shard, instance, deadline, entered,
+                ctx, submitted_at,
             )
         except RuntimeError:
             # The executor refused: the manager is shutting down.
@@ -282,6 +304,8 @@ class ConcurrentPQOManager(PQOManager):
         instance: QueryInstance,
         deadline: Optional[Deadline],
         entered: bool,
+        ctx: Optional[TraceContext] = None,
+        submitted_at: float = 0.0,
     ) -> None:
         try:
             if self._closed and not fut.done():
@@ -294,7 +318,16 @@ class ConcurrentPQOManager(PQOManager):
             if fut.done():
                 return  # resolved by close(wait=False); don't serve it
             try:
-                result = self._process_on(shard, instance, deadline)
+                with activate(ctx) if ctx is not None else nullcontext():
+                    if ctx is not None:
+                        # Pool hand-off latency, attributed to the request.
+                        now = self.obs.clock.perf_counter()
+                        self.obs.spans.record(
+                            "serving.queue_wait", submitted_at,
+                            now - submitted_at,
+                            template=shard.state.template.name,
+                        )
+                    result = self._process_on(shard, instance, deadline)
             except BaseException as exc:
                 with suppress(InvalidStateError):
                     fut.set_exception(exc)
@@ -399,9 +432,13 @@ class ConcurrentPQOManager(PQOManager):
                 with self._futures_lock:
                     self._outstanding.add(fut)
                 fut.add_done_callback(self._forget_outstanding)
+            # Carry the submitter's ambient trace context across the
+            # pool hand-off; the shard then mints one child per row.
+            ctx = current_context()
             try:
                 self._executor.submit(
-                    self._run_batch, shard, [inst for _, inst in items], futs
+                    self._run_batch, shard, [inst for _, inst in items],
+                    futs, ctx,
                 )
             except RuntimeError:
                 # The executor refused: the manager is shutting down.
@@ -419,6 +456,7 @@ class ConcurrentPQOManager(PQOManager):
         shard: TemplateShard,
         instances: list[QueryInstance],
         futs: list["Future[PlanChoice]"],
+        ctx: Optional[TraceContext] = None,
     ) -> None:
         if self._closed:
             for fut in futs:
@@ -430,7 +468,8 @@ class ConcurrentPQOManager(PQOManager):
                     )
             return
         try:
-            outcomes = shard.process_batch(instances)
+            with activate(ctx) if ctx is not None else nullcontext():
+                outcomes = shard.process_batch(instances)
         except BaseException as exc:  # noqa: BLE001 - resolve all futures
             for fut in futs:
                 with suppress(InvalidStateError):

@@ -40,6 +40,7 @@ from ..engine.resilience import OptimizeUnavailableError
 from ..engine.tracing import TraceLog
 from ..obs.clock import SYSTEM_CLOCK
 from ..obs.handle import Observability
+from ..obs.tracectx import activate, current_context, start_trace
 from ..optimizer.recost import ShrunkenMemo
 from ..query.instance import (
     AnySelectivityVector,
@@ -131,15 +132,34 @@ class TemplateShard:
             deadline = ov.new_deadline()
         shed = False
         outcome = "shed"
+        obs = self._obs
+        spans_on = obs is not None and obs.spans.enabled
+        # The request's trace context: the manager mints one per
+        # submission (so queue wait and pool hand-off stay attributed);
+        # direct shard calls outside any trace get a fresh root.  The
+        # ``serving.process`` span *is* this context's span — everything
+        # recorded inside (scr.* phases, engine.* calls, single-flight
+        # waits) parents under it.
+        ctx = None
+        if spans_on:
+            ctx = current_context()
+            if ctx is None:
+                ctx = start_trace(ids=obs.spans.ids)
+        extra: dict = {}
         try:
-            with self._engine_budget(deadline):
-                choice = self._process_inner(
-                    instance, deadline, overflow_reason, start
-                )
-                outcome = "certified" if choice.certified else "uncertified"
-                return choice
-        except ShedError:
+            with activate(ctx) if ctx is not None else nullcontext():
+                with self._engine_budget(deadline):
+                    choice = self._process_inner(
+                        instance, deadline, overflow_reason, start
+                    )
+                    outcome = "certified" if choice.certified else "uncertified"
+                    if spans_on:
+                        extra = self._choice_attrs(choice)
+                    return choice
+        except ShedError as exc:
             shed = True
+            if spans_on:
+                extra["reason"] = exc.reason
             raise
         finally:
             missed = deadline is not None and deadline.expired(self._now())
@@ -147,14 +167,33 @@ class TemplateShard:
                 self.stats.note_deadline_miss()
             if ov is not None:
                 ov.note_completed(missed, shed=shed)
-            obs = self._obs
-            if obs is not None and obs.spans.enabled:
-                obs.spans.record(
-                    "serving.process", start,
-                    self.clock.perf_counter() - start,
-                    template=self.state.template.name, seq=seq,
-                    outcome=outcome,
-                )
+                if spans_on:
+                    extra["brownout"] = int(ov.level)
+            if spans_on:
+                with activate(ctx) if ctx is not None else nullcontext():
+                    obs.spans.record(
+                        "serving.process", start,
+                        self.clock.perf_counter() - start,
+                        span_id=ctx.span_id if ctx is not None else None,
+                        template=self.state.template.name, seq=seq,
+                        outcome=outcome, **extra,
+                    )
+
+    @staticmethod
+    def _choice_attrs(choice: PlanChoice) -> dict:
+        """Guarantee-forensics attributes for the request-level span."""
+        attrs: dict = {
+            "check": getattr(choice.check, "value", choice.check),
+            "certificate": choice.certificate,
+            "recost_calls": choice.recost_calls,
+        }
+        if choice.used_optimizer:
+            attrs["used_optimizer"] = True
+        if choice.certified and choice.certified_bound is not None:
+            attrs["certified_bound"] = round(choice.certified_bound, 6)
+        if choice.coverage is not None and choice.coverage != 1.0:
+            attrs["coverage"] = choice.coverage
+        return attrs
 
     def process_batch(
         self,
@@ -198,17 +237,34 @@ class TemplateShard:
     ) -> list["PlanChoice | BaseException"]:
         start = self.clock.perf_counter()
         scr = self.scr
+        obs = self._obs
+        spans_on = obs is not None and obs.spans.enabled
+        # One trace context per batch row: even though one thread probes
+        # the whole batch, each row is its own request and gets its own
+        # request-level span (child of the submit-time ambient context,
+        # or a fresh root).  The batch-wide scr.* probe spans stay under
+        # the ambient context — they belong to the batch, not one row.
+        ctxs: list = [None] * len(instances)
+        if spans_on:
+            ambient = current_context()
+            ids = obs.spans.ids
+            for i in range(len(instances)):
+                ctxs[i] = (
+                    ambient.child(ids) if ambient is not None
+                    else start_trace(ids=ids)
+                )
         seqs: list[int] = []
         svs: list[AnySelectivityVector] = []
         degraded: list[bool] = []
         results: list[PlanChoice | BaseException] = [None] * len(instances)  # type: ignore[list-item]
-        for instance in instances:
+        for i, instance in enumerate(instances):
             with self._seq_lock:
                 seq = self._next_seq
                 self._next_seq += 1
             seqs.append(seq)
             self.engine.begin_instance(seq)
-            sv, deg = self._selectivity_vector(instance)
+            with activate(ctxs[i]) if ctxs[i] is not None else nullcontext():
+                sv, deg = self._selectivity_vector(instance)
             if self.robust and isinstance(sv, UncertainSelectivityVector):
                 self.stats.note_interval_width(sv.total_log_width)
             svs.append(sv)
@@ -237,18 +293,22 @@ class TemplateShard:
             if self.trace is not None:
                 self.trace.serving("epoch_retry", scr.instances_processed)
             try:
-                results[i] = self._serve(svs[i], depth=1)
+                with activate(ctxs[i]) if ctxs[i] is not None else nullcontext():
+                    results[i] = self._serve(svs[i], depth=1)
             except BaseException as exc:  # noqa: BLE001 - per-item isolation
                 results[i] = exc
         for i in misses:
             try:
-                results[i] = self._miss(svs[i], decisions[i], depth=0)
+                with activate(ctxs[i]) if ctxs[i] is not None else nullcontext():
+                    results[i] = self._miss(svs[i], decisions[i], depth=0)
             except BaseException as exc:  # noqa: BLE001 - per-item isolation
                 results[i] = exc
-        obs = self._obs
         for i, outcome in enumerate(results):
+            extra: dict = {}
             if isinstance(outcome, BaseException):
                 span_outcome = "shed"
+                if spans_on and isinstance(outcome, ShedError):
+                    extra["reason"] = outcome.reason
             else:
                 if degraded[i]:
                     # Stale sVector fallback: nothing was certified.
@@ -256,18 +316,23 @@ class TemplateShard:
                 span_outcome = (
                     "certified" if outcome.certified else "uncertified"
                 )
+                if spans_on:
+                    extra = self._choice_attrs(outcome)
                 self.stats.observe(
                     self.clock.perf_counter() - start,
                     outcome.check, outcome.certified,
                     certificate=outcome.certificate,
                 )
-            if obs is not None and obs.spans.enabled:
-                obs.spans.record(
-                    "serving.process", start,
-                    self.clock.perf_counter() - start,
-                    template=self.state.template.name, seq=seqs[i],
-                    outcome=span_outcome, batched=True,
-                )
+            if spans_on:
+                ctx = ctxs[i]
+                with activate(ctx) if ctx is not None else nullcontext():
+                    obs.spans.record(
+                        "serving.process", start,
+                        self.clock.perf_counter() - start,
+                        span_id=ctx.span_id if ctx is not None else None,
+                        template=self.state.template.name, seq=seqs[i],
+                        outcome=span_outcome, batched=True, **extra,
+                    )
         return results
 
     def _process_inner(
@@ -537,7 +602,20 @@ class TemplateShard:
             timeout = self.flight_timeout_seconds
             if deadline is not None:
                 timeout = min(timeout, max(0.0, deadline.remaining(self._now())))
-            flight.wait(timeout=timeout)
+            obs = self._obs
+            if obs is not None and obs.spans.enabled:
+                wait_start = self.clock.perf_counter()
+                flight.wait(timeout=timeout)
+                # The collapse is the whole point of single-flight, so
+                # the follower's wait gets its own span — a trace of the
+                # rerouted request shows *why* it did no optimizer call.
+                obs.spans.record(
+                    "serving.single_flight_wait", wait_start,
+                    self.clock.perf_counter() - wait_start,
+                    template=self.state.template.name,
+                )
+            else:
+                flight.wait(timeout=timeout)
             return self._serve(
                 sv, depth + 1, deadline=deadline, max_recost=max_recost,
                 deny=deny, coverage=coverage,

@@ -111,6 +111,74 @@ def test_kill_recovery_with_warm_start(tmp_path):
     assert report["resolved"] == report["submitted"]
 
 
+def test_distributed_trace_spans_processes_and_survives_kill(tmp_path):
+    """One trace_id connects supervisor and worker spans — even when the
+    first dispatch dies and the request is retried on a peer."""
+    from repro.obs import build_tree, explain_trace
+
+    streams = {
+        t.name: instances_for_template(t, 40, seed=4) for t in TEMPLATES
+    }
+    supervisor = ClusterSupervisor(
+        TEMPLATES, num_workers=2, snapshot_dir=str(tmp_path),
+        policy=POLICY, lam=2.0, db_scale=0.3,
+        heartbeat_interval=0.1, trace=True,
+    )
+    supervisor.start()
+    try:
+        warm = _submit_round(supervisor, streams, 0, 10)
+        _await_all(warm)
+
+        # Every resolved request has a connected tree under one trace:
+        # cluster.request -> cluster.dispatch -> worker serving spans.
+        fut = warm[-1]
+        assert fut.trace_id
+        spans = supervisor.trace_spans(fut.trace_id)
+        roots = build_tree(spans)
+        assert len(roots) == 1
+        assert roots[0].span.name == "cluster.request"
+        assert {s.trace_id for s in spans} == {fut.trace_id}
+        names = {s.name for s in spans}
+        assert "cluster.dispatch" in names
+        assert "serving.process" in names       # recorded inside the worker
+
+        # Kill one worker outright; the supervisor hasn't noticed yet, so
+        # the next round keeps dispatching to it and those requests must
+        # be retried on the surviving peer under the *same* trace.
+        victim = next(iter(supervisor.workers.values()))
+        victim.process.kill()
+        futures = _submit_round(supervisor, streams, 10, 40)
+        _await_all(futures)
+        assert all(fut.exception() is None for fut in futures)
+
+        retried = []
+        for fut in futures:
+            spans = supervisor.trace_spans(fut.trace_id)
+            dispatches = [s for s in spans if s.name == "cluster.dispatch"]
+            if any(s.attrs.get("outcome") == "worker_died"
+                   for s in dispatches):
+                retried.append((fut, spans, dispatches))
+        assert retried, "no request was stranded on the killed worker"
+
+        fut, spans, dispatches = retried[0]
+        roots = build_tree(spans)
+        assert len(roots) == 1, "retried request split into several trees"
+        root = roots[0].span
+        assert root.attrs["attempts"] >= 2
+        outcomes = [s.attrs["outcome"] for s in dispatches]
+        assert "worker_died" in outcomes and "response" in outcomes
+        workers_named = {
+            (s.attrs["worker"], s.attrs["incarnation"]) for s in dispatches
+        }
+        assert len(workers_named) >= 2          # both sides of the retry
+        # Forensics narrates the retry from the same span set.
+        info = explain_trace(spans)
+        assert info["attempts"] and len(info["attempts"]) >= 2
+        assert info["outcome"] in ("certified", "uncertified")
+    finally:
+        supervisor.close()
+
+
 def test_graceful_close_drains_everything(tmp_path):
     streams = {
         t.name: instances_for_template(t, 10, seed=2) for t in TEMPLATES

@@ -21,10 +21,14 @@ import pytest
 
 from repro.core.get_plan import CHECK_IMPLS
 from repro.obs import (
+    SPAN_SCHEMA_VERSION,
     FakeClock,
+    IdSource,
     MetricsRegistry,
     Observability,
     SpanRecorder,
+    activate,
+    start_trace,
     to_prometheus,
     write_spans_jsonl,
 )
@@ -74,21 +78,37 @@ def build_golden_registry() -> MetricsRegistry:
 
 
 def build_golden_spans() -> SpanRecorder:
-    """Deterministic spans on a fake clock, one per pipeline phase."""
+    """Deterministic spans on a fake clock, one per pipeline phase.
+
+    Since schema v2 every span carries the causal trace/span/parent ID
+    triple: the whole fixture is one request's trace, with the inner
+    phases parented under the ``serving.process`` request span — the
+    seeded :class:`IdSource` keeps the IDs byte-stable.
+    """
     fake = FakeClock()
+    ids = IdSource(seed=17)
     recorder = SpanRecorder(clock=fake.clock)
+    recorder.ids = ids
+    ctx = start_trace(ids=ids)
     phases = [
-        ("scr.selectivity_check", 0.001, {"hit": False, "candidates": 2}),
-        ("scr.cost_check", 0.004, {"hit": True, "recost_calls": 2}),
+        ("scr.selectivity_check", 0.001,
+         {"hit": False, "candidates": 2, "scanned": 4}),
+        ("scr.cost_check", 0.004,
+         {"hit": True, "recost_calls": 2, "bound": 1.42,
+          "certificate": "exact"}),
         ("engine.recost", 0.002, {"template": "t1", "seq": 0}),
         ("scr.redundancy_check", 0.003, {"template": "t1", "cached": True}),
-        ("serving.process", 0.012, {"template": "t1", "seq": 0,
-                                    "outcome": "certified"}),
     ]
-    for name, duration, attrs in phases:
-        start = fake.monotonic()
-        fake.advance(duration)
-        recorder.record(name, start, duration, **attrs)
+    with activate(ctx):
+        for name, duration, attrs in phases:
+            start = fake.monotonic()
+            fake.advance(duration)
+            recorder.record(name, start, duration, **attrs)
+        recorder.record(
+            "serving.process", 0.0, 0.012, span_id=ctx.span_id,
+            template="t1", seq=0, outcome="certified", check="cost",
+            certificate="exact", certified_bound=1.42, recost_calls=2,
+        )
     return recorder
 
 
@@ -179,10 +199,16 @@ def test_spans_jsonl_matches_golden_fixture():
 
 
 def test_spans_jsonl_schema():
-    rows = [json.loads(line) for line in render_spans().splitlines()]
+    lines = render_spans().splitlines()
+    header = json.loads(lines[0])
+    assert header == {"schema": "repro.spans", "version": SPAN_SCHEMA_VERSION}
+    rows = [json.loads(line) for line in lines[1:]]
     assert len(rows) == 5
     for i, row in enumerate(rows):
-        assert set(row) <= {"span", "seq", "start_s", "duration_s", "attrs"}
+        assert set(row) <= {
+            "span", "seq", "start_s", "duration_s", "attrs",
+            "trace_id", "span_id", "parent_id",
+        }
         assert isinstance(row["span"], str)
         assert row["seq"] == i               # recorder-assigned, gapless
         assert isinstance(row["start_s"], (int, float))
@@ -193,6 +219,14 @@ def test_spans_jsonl_schema():
         "scr.selectivity_check", "scr.cost_check", "engine.recost",
         "scr.redundancy_check", "serving.process",
     ]
+    # One connected trace: every row shares the trace_id, the request
+    # span owns its ID, and every inner phase parents under it.
+    trace_ids = {row["trace_id"] for row in rows}
+    assert len(trace_ids) == 1 and "" not in trace_ids
+    process = rows[-1]
+    assert process["span_id"]
+    for row in rows[:-1]:
+        assert row["parent_id"] == process["span_id"]
 
 
 @pytest.mark.parametrize("check_impl", CHECK_IMPLS)
