@@ -33,8 +33,10 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import re
 import time
+from pathlib import Path
 
 import pytest
 
@@ -82,6 +84,51 @@ class _Events:
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()
+
+
+CHAOS_JSON = Path(__file__).parents[1] / "BENCH_cluster_chaos.json"
+CHAOS_SCHEMA = 2
+MAX_CHAOS_RUNS = 20
+
+
+def _append_chaos_trajectory(summary: dict) -> None:
+    """Append this run under the shared v2 trajectory envelope.
+
+    Earlier revisions wrote the summary as a bare object; those are
+    migrated into a single tagged run so the history survives the
+    format change.
+    """
+    doc = {
+        "schema_version": CHAOS_SCHEMA,
+        "benchmark": "cluster_chaos",
+        "runs": [],
+    }
+    if CHAOS_JSON.exists():
+        loaded = json.loads(CHAOS_JSON.read_text(encoding="utf-8"))
+        if loaded.get("schema_version") == CHAOS_SCHEMA:
+            doc = loaded
+        elif isinstance(loaded, dict) and "submitted" in loaded:
+            doc["runs"] = [{
+                "timestamp": "1970-01-01T00:00:00Z",
+                "meta": {"migrated_from": 1},
+                "summary": loaded,
+            }]
+    doc["runs"].append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "templates": [t.name for t in TEMPLATES],
+            "bursts": BURSTS,
+        },
+        "summary": summary,
+    })
+    doc["runs"] = doc["runs"][-MAX_CHAOS_RUNS:]
+    CHAOS_JSON.write_text(
+        json.dumps(doc, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 def _submit_replay(supervisor, streams, lo, hi):
@@ -297,8 +344,7 @@ def test_chaos_gate(tmp_path):
         supervisor.close()
         events.close()
     if summary and os.environ.get("CLUSTER_CHAOS_JSON"):
-        with open("BENCH_cluster_chaos.json", "w", encoding="utf-8") as fh:
-            json.dump(summary, fh, indent=2, sort_keys=True)
+        _append_chaos_trajectory(summary)
 
 
 def test_slo_burn_gate(tmp_path):

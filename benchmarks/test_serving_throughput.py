@@ -167,6 +167,24 @@ def measure():
     conc_s, db, manager, conc_choices = run_concurrent(templates, workload)
     audit = manager.obs.audit
     outcomes = audit.outcome_totals()
+    # Anchor-attribution accounting identity (DESIGN.md §15): summed
+    # per-anchor hit counters must equal getPlan's hit counters even
+    # after 8 workers raced through the probe/commit split.
+    identity_errors = []
+    for t in templates:
+        scr = manager.shard(t.name).scr
+        sel, cost, spend = scr.cache.anchor_hit_totals(exclude_adopted=True)
+        gp = scr.get_plan
+        if (sel, cost) != (gp.selectivity_hits, gp.cost_hits):
+            identity_errors.append(
+                f"{t.name}: anchors ({sel}, {cost}) != "
+                f"getPlan ({gp.selectivity_hits}, {gp.cost_hits})"
+            )
+        if spend > gp.total_recost_calls:
+            identity_errors.append(
+                f"{t.name}: anchor recost spend {spend} exceeds "
+                f"getPlan total {gp.total_recost_calls}"
+            )
     return {
         "templates": len(templates),
         "instances": len(workload),
@@ -180,6 +198,7 @@ def measure():
         "accounted": sum(outcomes.values()),
         "certified_counted": outcomes["certified"],
         "violations_live": audit.total_violations,
+        "anchor_identity_errors": identity_errors,
         "report": manager.serving_report(),
     }
 
@@ -187,6 +206,7 @@ def measure():
 def test_concurrent_serving_throughput(benchmark):
     row = run_once(benchmark, measure)
     report = row.pop("report")
+    identity_errors = row.pop("anchor_identity_errors")
     print()
     print(format_table([row], title="Serving throughput: 8 workers vs serial"))
     print()
@@ -204,6 +224,10 @@ def test_concurrent_serving_throughput(benchmark):
     assert row["certified_counted"] == row["instances"] - row["uncertified"]
     assert row["violations_live"] == 0, (
         "the runtime guarantee audit flagged a certified bound above λ"
+    )
+    assert identity_errors == [], (
+        "anchor attribution drifted from the getPlan hit counters under "
+        f"concurrency: {identity_errors}"
     )
     assert row["speedup"] >= MIN_SPEEDUP, (
         f"8-worker serving speedup {row['speedup']:.2f}× below the "

@@ -1,0 +1,33 @@
+"""Shared narration helper for the runnable examples.
+
+Every example routes its console narration through :func:`say` so that
+``--quiet`` (wired in via :func:`add_quiet_flag`) silences the story
+while keeping the final assertions — CI smoke steps run the examples
+quietly and only care that they finish with exit code 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+_quiet = False
+
+
+def configure(quiet: bool) -> None:
+    """Set narration on/off for the current process."""
+    global _quiet
+    _quiet = bool(quiet)
+
+
+def add_quiet_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the standard ``--quiet`` flag to an example's parser."""
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress narration (assertions still run)",
+    )
+
+
+def say(*args, **kwargs) -> None:
+    """``print`` that honours the example-wide ``--quiet`` flag."""
+    if not _quiet:
+        print(*args, **kwargs)

@@ -27,6 +27,7 @@ import argparse
 import tempfile
 import time
 
+from _output import add_quiet_flag, configure, say
 from repro.cluster import ClusterSupervisor, ProcessFaultInjector
 from repro.harness.reporting import format_table
 from repro.workload import instances_for_template
@@ -36,7 +37,7 @@ from repro.workload.templates import seed_templates
 def main(workers: int, seed: int, m: int) -> None:
     templates = seed_templates()[:4]
     snapshot_dir = tempfile.mkdtemp(prefix="repro-cluster-demo-")
-    print(f"Booting {workers} workers over {len(templates)} templates "
+    say(f"Booting {workers} workers over {len(templates)} templates "
           f"(snapshots in {snapshot_dir})...")
     supervisor = ClusterSupervisor(
         templates,
@@ -53,7 +54,7 @@ def main(workers: int, seed: int, m: int) -> None:
         t.name: instances_for_template(t, m, seed=1) for t in templates
     }
 
-    print(f"\nPhase 1: warm the caches ({m // 2} instances/template)...")
+    say(f"\nPhase 1: warm the caches ({m // 2} instances/template)...")
     futures = []
     for i in range(m // 2):
         for t in templates:
@@ -64,7 +65,7 @@ def main(workers: int, seed: int, m: int) -> None:
         fut.exception()
     time.sleep(0.5)  # let a snapshot interval elapse so warm-starts have food
 
-    print(f"Phase 2: same load with chaos — one fault every "
+    say(f"Phase 2: same load with chaos — one fault every "
           f"{len(templates) * 4} requests...")
     futures = []
     for i in range(m // 2, m):
@@ -73,17 +74,17 @@ def main(workers: int, seed: int, m: int) -> None:
                 t.name, streams[t.name][i].sv.values, sequence_id=i
             ))
             if len(futures) % (len(templates) * 4) == 0:
-                print(f"  chaos: {injector.inject_one()}")
+                say(f"  chaos: {injector.inject_one()}")
     lost = sum(1 for fut in futures if fut.exception() is not None)
 
     report = supervisor.cluster_report()
     supervisor.close()
 
-    print()
-    print(format_table(report["workers"], title="Fleet after the storm"))
+    say()
+    say(format_table(report["workers"], title="Fleet after the storm"))
     outcomes = report["outcomes"]
-    print()
-    print(format_table([{
+    say()
+    say(format_table([{
         "submitted": report["submitted"],
         "resolved": report["resolved"],
         "certified": outcomes["certified"],
@@ -94,9 +95,9 @@ def main(workers: int, seed: int, m: int) -> None:
         "lambda_violations": (report["supervisor_lambda_violations"]
                               + report["worker_lambda_violations"]),
     }], title="Exactly one outcome per request"))
-    print(f"\nfaults injected : {', '.join(injector.injected) or 'none'}")
-    print(f"futures raised  : {lost} (worker_lost — counted as shed above)")
-    print("\nRecap: death is detected by missed heartbeat, the partition "
+    say(f"\nfaults injected : {', '.join(injector.injected) or 'none'}")
+    say(f"futures raised  : {lost} (worker_lost — counted as shed above)")
+    say("\nRecap: death is detected by missed heartbeat, the partition "
           "re-routes to ring peers,\nthe replacement warm-starts from the "
           "last checksummed snapshot, and the λ-guarantee\nholds for every "
           "certified response — crashes cost latency, never correctness.")
@@ -108,5 +109,7 @@ if __name__ == "__main__":
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--m", type=int, default=40,
                         help="instances per template across both phases")
+    add_quiet_flag(parser)
     args = parser.parse_args()
+    configure(args.quiet)
     main(workers=args.workers, seed=args.seed, m=args.m)

@@ -19,11 +19,13 @@ concurrent serving layer with the unified observability handle
 Run:  python examples/observability_demo.py
 """
 
+import argparse
 import json
 import tempfile
 from collections import defaultdict
 from pathlib import Path
 
+from _output import add_quiet_flag, configure, say
 from repro import Database, Observability, tpch_schema
 from repro.harness.metrics import LatencySummary
 from repro.harness.reporting import format_table
@@ -70,7 +72,7 @@ POLICY = OverloadPolicy(
 
 
 def main() -> None:
-    print("Booting an instrumented PQO server (one Observability handle "
+    say("Booting an instrumented PQO server (one Observability handle "
           "wired through\nengine, SCR, shards and overload protection)...")
     db = Database.create(tpch_schema(scale=0.3), seed=9)
     obs = Observability()
@@ -88,7 +90,7 @@ def main() -> None:
         template = parse_sql(sql, name=name, database="tpch")
         templates[name] = template
         manager.register(template, lam=2.0)
-        print(f"  registered {name:<16} d={template.dimensions} lambda=2.00")
+        say(f"  registered {name:<16} d={template.dimensions} lambda=2.00")
 
     def workload(count, seed_base):
         return [
@@ -97,13 +99,13 @@ def main() -> None:
             for inst in instances_for_template(t, count, seed=seed_base + i)
         ]
 
-    print("\nPhase 1: steady traffic (every response certified)...")
+    say("\nPhase 1: steady traffic (every response certified)...")
     for instance in workload(40, seed_base=0):
         manager.process(instance)
     totals = obs.audit.outcome_totals()
-    print(f"  outcomes so far: {totals}")
+    say(f"  outcomes so far: {totals}")
 
-    print("\nPhase 2: a burst past the bounded queues "
+    say("\nPhase 2: a burst past the bounded queues "
           "(rejection-as-last-resort kicks in)...")
     futures = [manager.submit(inst) for inst in workload(60, seed_base=50)]
     shed = 0
@@ -116,11 +118,11 @@ def main() -> None:
 
     # -- the guarantee audit trail, read back from the registry ----------
     totals = obs.audit.outcome_totals()
-    print(f"  outcomes after burst: {totals}  (ShedError seen: {shed})")
+    say(f"  outcomes after burst: {totals}  (ShedError seen: {shed})")
     assert totals["shed"] == shed, "every shed maps to exactly one counter"
 
-    print("\nGuarantee audit — every response is exactly one outcome, and")
-    print("every certified bound was checked against λ the moment it was "
+    say("\nGuarantee audit — every response is exactly one outcome, and")
+    say("every certified bound was checked against λ the moment it was "
           "served:")
     rows = []
     for name in templates:
@@ -134,11 +136,11 @@ def main() -> None:
             "bound_p50": round(bound_hist.quantile(0.5), 3),
             "bound_p99": round(bound_hist.quantile(0.99), 3),
         })
-    print(format_table(rows, title="Per-template outcomes + certified bounds"))
-    print(f"\nlambda violations (must be 0): {obs.audit.total_violations}")
+    say(format_table(rows, title="Per-template outcomes + certified bounds"))
+    say(f"\nlambda violations (must be 0): {obs.audit.total_violations}")
     assert obs.audit.zero_violations, "Theorem 1 was violated at runtime!"
 
-    print("\nWhere responses spent their time (decision spans):")
+    say("\nWhere responses spent their time (decision spans):")
     by_name = defaultdict(lambda: [0, 0.0])
     for span in obs.spans.spans():
         entry = by_name[span.name]
@@ -148,14 +150,14 @@ def main() -> None:
         {"span": name, "count": count, "total_ms": round(total * 1e3, 2)}
         for name, (count, total) in sorted(by_name.items())
     ]
-    print(format_table(span_rows, title="Span totals"))
+    say(format_table(span_rows, title="Span totals"))
 
     latency = LatencySummary.from_histogram(
         obs.registry.get(SERVING_LATENCY_SECONDS).labels(
             template="recent_orders"
         )
     )
-    print(f"\nrecent_orders serving latency from the registry histogram: "
+    say(f"\nrecent_orders serving latency from the registry histogram: "
           f"p50={latency.p50_ms:.2f} ms p99={latency.p99_ms:.2f} ms "
           f"({latency.count} responses)")
 
@@ -170,16 +172,16 @@ def main() -> None:
         json.dumps(obs.report(), indent=2, sort_keys=True), encoding="utf-8"
     )
 
-    print("\nExported artifacts:")
-    print(f"  {prom_path}  "
+    say("\nExported artifacts:")
+    say(f"  {prom_path}  "
           f"({len(prom_path.read_text().splitlines())} exposition lines)")
-    print(f"  {spans_path}  ({span_count} spans)")
-    print(f"  {report_path}  (JSON snapshot, the CLI's `repro obs-report "
+    say(f"  {spans_path}  ({span_count} spans)")
+    say(f"  {report_path}  (JSON snapshot, the CLI's `repro obs-report "
           f"--json` twin)")
 
-    print("\nFirst Prometheus lines:")
+    say("\nFirst Prometheus lines:")
     for line in prom_path.read_text().splitlines()[:6]:
-        print(f"  {line}")
+        say(f"  {line}")
 
     # -- forensics: one request's causal story ---------------------------
     from repro.obs import explain_trace, format_explanation, render_tree, traces_in
@@ -189,13 +191,16 @@ def main() -> None:
     }
     if traces:
         tid, spans = next(reversed(traces.items()))
-        print("\nOne request, end to end (python -m repro trace --explain):")
-        print(render_tree(spans))
-        print()
-        print(format_explanation(explain_trace(spans)))
+        say("\nOne request, end to end (python -m repro trace --explain):")
+        say(render_tree(spans))
+        say()
+        say(format_explanation(explain_trace(spans)))
 
-    print("\nRun completed: guarantee audited live, zero λ violations.")
+    say("\nRun completed: guarantee audited live, zero λ violations.")
 
 
 if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_quiet_flag(parser)
+    configure(parser.parse_args().quiet)
     main()

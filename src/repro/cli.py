@@ -18,6 +18,13 @@ Commands
     counters, the live λ-violation audit, and every metric series.
     ``--prometheus FILE`` / ``--spans FILE`` additionally export the
     registry as text exposition and the decision spans as JSONL.
+``doctor [--template NAME] [--m N] [--cluster N]``
+    "Is my cache healthy?" — serves a demo workload, then judges it:
+    per-template calibration grade (predicted-vs-recosted and
+    predicted-vs-true cost error), anchor-level payback attribution
+    (top/bottom anchors, wasted optimizer spend), active drift alarms
+    and recommended actions.  ``--cluster N`` serves through N worker
+    processes and renders the cluster-merged view instead.
 ``serve [--workers N] [--m N] [--chaos SEED]``
     Multi-process serving tier: a supervisor, ``N`` worker processes
     partitioned by consistent hashing, snapshot warm-starts, and (with
@@ -232,6 +239,96 @@ def cmd_obs_report(args) -> None:
     if args.spans:
         rows_written = write_spans_jsonl(obs.spans, args.spans)
         print(f"wrote {rows_written} spans to {args.spans}")
+
+
+def cmd_doctor(args) -> None:
+    import json
+
+    from .obs import Observability
+    from .obs.doctor import render_doctor_report
+
+    if args.cluster:
+        import tempfile
+
+        from .cluster import ClusterSupervisor
+        from .workload import instances_for_template
+
+        templates = seed_templates()[: args.templates]
+        supervisor = ClusterSupervisor(
+            templates,
+            num_workers=args.cluster,
+            snapshot_dir=tempfile.mkdtemp(prefix="repro-doctor-"),
+            lam=args.lam,
+            db_scale=0.3,
+            threads=2,
+        )
+        supervisor.start()
+        streams = {
+            t.name: instances_for_template(t, args.m, seed=1)
+            for t in templates
+        }
+        futures = [
+            supervisor.submit(t.name, streams[t.name][i].sv.values,
+                              sequence_id=i)
+            for i in range(args.m) for t in templates
+        ]
+        for fut in futures:
+            fut.exception()
+        # Anchor summaries and registry snapshots arrive on heartbeats
+        # (one per worker every 200 ms): pump until every template's
+        # summary has landed, bounded so a worker that died mid-demo
+        # degrades the view instead of hanging the CLI.
+        import time
+
+        deadline = time.monotonic() + 3.0
+        while True:
+            supervisor.pump(timeout=0.3)
+            report = supervisor.doctor_report()
+            sections = report["templates"]
+            ready = all(
+                (sections.get(t.name, {}).get("anchors") or {})
+                .get("live_anchors")
+                for t in templates
+            )
+            if ready or time.monotonic() > deadline:
+                break
+        prom = supervisor.prometheus() if args.prometheus else None
+        supervisor.close()
+    else:
+        from .serving import ConcurrentPQOManager, simulated_latency_wrapper
+        from .workload import instances_for_template
+
+        template = _find_template(args.template)
+        db = get_database(template.database, scale=0.4)
+        obs = Observability()
+        manager = ConcurrentPQOManager(
+            database=db,
+            max_workers=args.workers,
+            engine_wrapper=simulated_latency_wrapper(
+                optimize_seconds=0.004, recost_seconds=0.0004
+            ),
+            obs=obs,
+        )
+        manager.register(template, lam=args.lam)
+        # Waves, not one batch: a batch is probed against one snapshot
+        # (no interleaved commits), so a single cold batch would be all
+        # misses and there would be no cache health to judge.
+        instances = instances_for_template(template, args.m, seed=1)
+        wave = max(1, args.m // 8)
+        for i in range(0, len(instances), wave):
+            manager.process_many(instances[i:i + wave], dedupe=False)
+        report = manager.doctor_report()
+        prom = manager.prometheus() if args.prometheus else None
+        manager.close()
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_doctor_report(report))
+    if args.prometheus:
+        with open(args.prometheus, "w", encoding="utf-8") as fh:
+            fh.write(prom or "")
+        print(f"wrote Prometheus exposition to {args.prometheus}")
 
 
 def cmd_trace(args) -> None:
@@ -456,6 +553,25 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument("--json", action="store_true",
                             help="dump the full report as JSON instead")
     obs_report.set_defaults(func=cmd_obs_report)
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="plan-cache health: calibration grades, anchor payback, "
+             "drift alarms, recommended actions",
+    )
+    doctor.add_argument("--template", default="tpch_shipping_priority")
+    doctor.add_argument("--m", type=int, default=120)
+    doctor.add_argument("--lam", type=float, default=2.0)
+    doctor.add_argument("--workers", type=int, default=4)
+    doctor.add_argument("--cluster", type=int, metavar="N", default=0,
+                        help="run N worker processes and report the "
+                             "cluster-merged view instead")
+    doctor.add_argument("--templates", type=int, default=2,
+                        help="seed templates to serve in --cluster mode")
+    doctor.add_argument("--prometheus", metavar="FILE", default=None)
+    doctor.add_argument("--json", action="store_true",
+                        help="dump the health report as JSON instead")
+    doctor.set_defaults(func=cmd_doctor)
 
     trace = sub.add_parser(
         "trace",

@@ -228,6 +228,11 @@ class ClusterSupervisor:
         self._registry_history: dict[tuple[str, int], dict] = {}
         self._outcome_history: dict[tuple[str, int], dict] = {}
         self._violation_history: dict[tuple[str, int], int] = {}
+        # Latest per-template anchor attribution per worker (not per
+        # incarnation): a warm-started replacement *adopts* its
+        # predecessor's counters with the snapshot, so keeping dead
+        # incarnations too would double-count the inherited hits.
+        self._anchor_history: dict[str, dict] = {}
         # Per-worker merged remains of dead incarnations beyond the
         # retention window (see SupervisorPolicy.registry_retention).
         self._registry_tombstones: dict[str, dict] = {}
@@ -515,6 +520,8 @@ class ClusterSupervisor:
         self._registry_history[key] = message.registry
         self._outcome_history[key] = message.outcomes
         self._violation_history[key] = message.lambda_violations
+        if message.anchor_summary:
+            self._anchor_history[message.worker_id] = message.anchor_summary
 
     def _on_bye(self, message: Bye) -> None:
         handle = self.workers.get(message.worker_id)
@@ -799,15 +806,41 @@ class ClusterSupervisor:
         worker spans), in recording order — the forensics input."""
         return self.obs.spans.trace(trace_id)
 
-    def merged_snapshot(self) -> dict:
-        """Supervisor + workers + tombstones as one labeled snapshot."""
+    def _labeled_sources(self) -> dict:
+        """Label → raw registry snapshot, pre-merge (lock held inside)."""
         with self._lock:
             sources = {"supervisor": self.obs.registry.snapshot()}
             for (wid, inc), snapshot in sorted(self._registry_history.items()):
                 sources[f"{wid}:{inc}"] = snapshot
             for wid, snapshot in sorted(self._registry_tombstones.items()):
                 sources[f"{wid}:tomb"] = snapshot
-        return merge_labeled_snapshots(sources)
+        return sources
+
+    def merged_snapshot(self) -> dict:
+        """Supervisor + workers + tombstones as one labeled snapshot."""
+        return merge_labeled_snapshots(self._labeled_sources())
+
+    def anchor_summaries(self) -> dict:
+        """Latest heartbeat anchor attribution per worker."""
+        with self._lock:
+            return {
+                wid: {t: dict(s) for t, s in summary.items()}
+                for wid, summary in sorted(self._anchor_history.items())
+            }
+
+    def doctor_report(self) -> dict:
+        """Cluster-merged ``repro doctor`` view.
+
+        Recomputed entirely from the same labeled snapshots the merged
+        Prometheus exposition renders (plus the heartbeats' anchor
+        summaries), so its totals are the supervisor's totals by
+        construction — no live worker is consulted.
+        """
+        from ..obs.doctor import doctor_from_sources
+
+        return doctor_from_sources(
+            self._labeled_sources(), self.anchor_summaries()
+        )
 
     def cluster_report(self) -> dict:
         """One health view: fleet table + cluster-wide accounting."""

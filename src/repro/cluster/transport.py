@@ -102,6 +102,11 @@ class Heartbeat:
     #: Prometheus exposition, labeled by worker identity).
     registry: dict = field(default_factory=dict)
     lambda_violations: int = 0
+    #: Per-template anchor-efficacy attribution
+    #: (:meth:`~repro.serving.manager.ConcurrentPQOManager.anchor_summaries`)
+    #: — flat int dicts the cluster doctor view sums across workers.
+    #: Defaulted so snapshots of the old wire format still unpickle.
+    anchor_summary: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

@@ -277,6 +277,7 @@ class ClusterWorker:
             outcomes=audit.outcome_totals(),
             registry=self.obs.registry.snapshot(),
             lambda_violations=audit.total_violations,
+            anchor_summary=self.manager.anchor_summaries(),
         ))
 
     @property

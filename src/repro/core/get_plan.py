@@ -135,6 +135,12 @@ class GetPlanDecision:
     certificate: str = "exact"
     #: Coverage of the box the certificate holds over (1.0 = hard).
     coverage: float = 1.0
+    #: Every Recost comparison the cost phase made — ``(anchor, r, g,
+    #: l)`` per call, *including failed checks*.  The calibration
+    #: observatory feeds on these; keeping the failures matters because
+    #: a drifting cost model inflates exactly the ratios that fail the
+    #: check, so a hits-only feed would censor its own evidence.
+    recost_samples: tuple = ()
 
     @property
     def hit(self) -> bool:
@@ -694,6 +700,7 @@ class GetPlan:
         if max_recost is not None:
             cap = min(cap, max_recost)
         recost_calls = 0
+        samples: list = []
         for _, g, l, entry in candidates[:cap]:
             plan = self.cache.maybe_plan(entry.plan_id)
             if plan is None:
@@ -701,6 +708,7 @@ class GetPlan:
             new_cost = recost(plan.shrunken_memo, point)
             recost_calls += 1
             r = new_cost / entry.optimal_cost
+            samples.append((entry, r, g, l))
             budget = self._effective_lambda(entry) / entry.suboptimality
             if robust:
                 corner = cost_corner(point, entry.sv, box)
@@ -722,9 +730,11 @@ class GetPlan:
                     ),
                     certificate=cert,
                     coverage=cov,
+                    recost_samples=tuple(samples),
                 )
         return GetPlanDecision(
-            plan_id=None, check=CheckKind.OPTIMIZER, recost_calls=recost_calls
+            plan_id=None, check=CheckKind.OPTIMIZER, recost_calls=recost_calls,
+            certificate=cert, recost_samples=tuple(samples),
         )
 
     def commit(self, decision: GetPlanDecision) -> None:
@@ -733,12 +743,19 @@ class GetPlan:
         snapshot must hold the cache's write lock and have revalidated
         the decision before committing."""
         if decision.check is CheckKind.SELECTIVITY:
-            decision.anchor.usage += 1
+            anchor = decision.anchor
+            anchor.usage += 1
             self.cache.touch(decision.plan_id)
+            anchor.hits_selectivity += 1
+            anchor.last_hit_tick = self.cache.tick
             self.selectivity_hits += 1
         elif decision.check is CheckKind.COST:
-            decision.anchor.usage += 1
+            anchor = decision.anchor
+            anchor.usage += 1
             self.cache.touch(decision.plan_id)
+            anchor.hits_cost += 1
+            anchor.recost_spend += decision.recost_calls
+            anchor.last_hit_tick = self.cache.tick
             self.cost_hits += 1
             self._note_recosts(decision.recost_calls)
         else:
@@ -818,9 +835,24 @@ class GetPlan:
             chunk = resolved[lo_row:lo_row + step]
             g_m, l_m = gl_matrix(view.sv, pts[lo_row:lo_row + step])
             if robust:
-                lo = np.array([b.lo.values for _, b in chunk], dtype=np.float64)
-                hi = np.array([b.hi.values for _, b in chunk], dtype=np.float64)
+                # The adversarial corner depends only on the (lo, hi)
+                # box — not on the probe point — and the kernel is
+                # row-independent over the batch axis, so identical
+                # boxes (common: a whole batch often shares one
+                # coverage box) are evaluated once and gathered back by
+                # inverse index.  Bit-identical: each row's result is a
+                # pure function of its own box row.
+                box_rows: dict[tuple, int] = {}
+                inverse = [
+                    box_rows.setdefault((b.lo.values, b.hi.values), len(box_rows))
+                    for _, b in chunk
+                ]
+                lo = np.array([k[0] for k in box_rows], dtype=np.float64)
+                hi = np.array([k[1] for k in box_rows], dtype=np.float64)
                 gc_m, lc_m = corner_gl_matrix(view.sv, lo, hi, view.sv_sq)
+                if len(box_rows) < len(chunk):
+                    inv = np.array(inverse, dtype=np.intp)
+                    gc_m, lc_m = gc_m[inv], lc_m[inv]
             else:
                 gc_m, lc_m = g_m, l_m
             for j, (point, box) in enumerate(chunk):

@@ -102,10 +102,28 @@ def dump_cache(cache: PlanCache) -> str:
             "suboptimality": entry.suboptimality,
             "usage": entry.usage,
             "retired": entry.retired,
+            "hits_selectivity": entry.hits_selectivity,
+            "hits_cost": entry.hits_cost,
+            "recost_spend": entry.recost_spend,
+            "last_hit_tick": entry.last_hit_tick,
         }
         for entry in cache.instances()
     ]
-    payload = {"plans": plans, "instances": instances}
+    payload = {
+        "plans": plans,
+        "instances": instances,
+        "evicted": {
+            "hits_selectivity": cache.evicted_hits_selectivity,
+            "hits_cost": cache.evicted_hits_cost,
+            "recost_spend": cache.evicted_recost_spend,
+            "never_hit": cache.evicted_never_hit,
+        },
+        "adopted": {
+            "hits_selectivity": cache.adopted_hits_selectivity,
+            "hits_cost": cache.adopted_hits_cost,
+            "recost_spend": cache.adopted_recost_spend,
+        },
+    }
     return json.dumps({
         "version": 2,
         "checksum": _payload_checksum(payload),
@@ -193,7 +211,22 @@ def _cache_from_payload(data: dict) -> PlanCache:
             suboptimality=inst["suboptimality"],
             usage=inst["usage"],
             retired=inst["retired"],
+            # Efficacy attribution arrived after v2 dumps existed; old
+            # documents simply restore with zeroed counters.
+            hits_selectivity=inst.get("hits_selectivity", 0),
+            hits_cost=inst.get("hits_cost", 0),
+            recost_spend=inst.get("recost_spend", 0),
+            last_hit_tick=inst.get("last_hit_tick", -1),
         ))
+    evicted = data.get("evicted", {})
+    cache.evicted_hits_selectivity = evicted.get("hits_selectivity", 0)
+    cache.evicted_hits_cost = evicted.get("hits_cost", 0)
+    cache.evicted_recost_spend = evicted.get("recost_spend", 0)
+    cache.evicted_never_hit = evicted.get("never_hit", 0)
+    adopted = data.get("adopted", {})
+    cache.adopted_hits_selectivity = adopted.get("hits_selectivity", 0)
+    cache.adopted_hits_cost = adopted.get("hits_cost", 0)
+    cache.adopted_recost_spend = adopted.get("recost_spend", 0)
     return cache
 
 

@@ -54,11 +54,35 @@ class InstanceEntry:
     usage: int = 1               # U
     retired: bool = False        # Appendix G: excluded from cost checks
                                  # after a detected assumption violation.
+    # -- efficacy attribution (advisory; never read by the checks) ----------
+    #: Lifetime certified reuses through this anchor's selectivity check.
+    hits_selectivity: int = 0
+    #: Lifetime certified reuses through this anchor's cost check.
+    hits_cost: int = 0
+    #: Recost calls spent on cost-check hits *through this anchor* —
+    #: the marginal engine spend its reuses still cost.
+    recost_spend: int = 0
+    #: Cache tick of the last hit (-1 = never hit); ages against the
+    #: cache's current tick for the doctor's staleness ranking.
+    last_hit_tick: int = -1
 
     @property
     def pointed_plan_cost(self) -> float:
         """``Cost(P(q_e), q_e) = C * S``."""
         return self.optimal_cost * self.suboptimality
+
+    @property
+    def total_hits(self) -> int:
+        return self.hits_selectivity + self.hits_cost
+
+    def refresh_cost(self, optimal_cost: float, suboptimality: float) -> None:
+        """Re-anchor the stored costs after a recost sweep re-measured
+        them.  Guarantee-bearing fields are otherwise write-once; a sweep
+        may only *raise* pessimism through the caller's discipline (the
+        caller passes the freshly measured optimal cost and the pointed
+        plan's measured sub-optimality there, both ≥ 1× reality)."""
+        self.optimal_cost = optimal_cost
+        self.suboptimality = suboptimality
 
     @property
     def sv_product(self) -> float:
@@ -112,6 +136,22 @@ class PlanCache:
     #: ``epoch`` — columnar views stay valid across them and memoize
     #: usage-derived orderings against this counter instead.
     usage_version: int = 0
+    #: Anchor-hit totals carried by entries that were evicted with their
+    #: plan (``drop_plan``).  Keeping them makes the efficacy accounting
+    #: identity — Σ per-anchor hits (+ evicted) = getPlan's hit counters
+    #: — survive eviction and warm-start adoption.
+    evicted_hits_selectivity: int = 0
+    evicted_hits_cost: int = 0
+    evicted_recost_spend: int = 0
+    #: Evicted anchors that never earned a single hit (pure wasted
+    #: optimizer spend, the doctor's headline waste figure).
+    evicted_never_hit: int = 0
+    #: Hit totals that arrived with adopted (warm-start) contents.
+    #: They predate this process's getPlan counters, so the accounting
+    #: identity excludes them (``anchor_hit_totals(exclude_adopted=True)``).
+    adopted_hits_selectivity: int = 0
+    adopted_hits_cost: int = 0
+    adopted_recost_spend: int = 0
     _snapshot: Optional[CacheSnapshot] = field(default=None, repr=False)
     _columnar: Optional[object] = field(default=None, repr=False)
     # Observers (e.g. the §6.2 spatial index) notified on mutation.
@@ -176,6 +216,13 @@ class PlanCache:
         identity.  The epoch advances past both caches' so every
         outstanding snapshot/columnar view reads as stale.
         """
+        # Hit totals carried by the adopted contents were earned against
+        # a *previous* process's getPlan counters; bank them as the
+        # adopted baseline so the identity survives warm start.
+        osel, ocost, ospend = other.anchor_hit_totals()
+        self.adopted_hits_selectivity += osel + other.adopted_hits_selectivity
+        self.adopted_hits_cost += ocost + other.adopted_hits_cost
+        self.adopted_recost_spend += ospend + other.adopted_recost_spend
         self._plans = other._plans
         self._by_signature = other._by_signature
         self._instances = other._instances
@@ -183,6 +230,10 @@ class PlanCache:
         self._tick = max(self._tick, other._tick)
         self.max_plans_seen = max(self.max_plans_seen, other.max_plans_seen)
         self.plans_dropped += other.plans_dropped
+        self.evicted_hits_selectivity += other.evicted_hits_selectivity
+        self.evicted_hits_cost += other.evicted_hits_cost
+        self.evicted_recost_spend += other.evicted_recost_spend
+        self.evicted_never_hit += other.evicted_never_hit
         self.epoch = max(self.epoch, other.epoch)
         self.usage_version = max(self.usage_version, other.usage_version)
         self._mutated()
@@ -239,6 +290,15 @@ class PlanCache:
         if entry is None:
             raise KeyError(f"no cached plan with id {plan_id}")
         del self._by_signature[entry.signature]
+        for inst in self._instances:
+            if inst.plan_id == plan_id:
+                # Fold the departing anchors' lifetime attribution into
+                # the evicted totals so the accounting identity holds.
+                self.evicted_hits_selectivity += inst.hits_selectivity
+                self.evicted_hits_cost += inst.hits_cost
+                self.evicted_recost_spend += inst.recost_spend
+                if inst.total_hits == 0:
+                    self.evicted_never_hit += 1
         self._instances = [i for i in self._instances if i.plan_id != plan_id]
         self.plans_dropped += 1
         self._mutated()
@@ -298,6 +358,34 @@ class PlanCache:
         return min(self._plans.values(), key=lambda p: p.last_used_tick)
 
     # -- bookkeeping -----------------------------------------------------------
+
+    @property
+    def tick(self) -> int:
+        """The current LRU clock value (``last_hit_tick`` ages against it)."""
+        return self._tick
+
+    def anchor_hit_totals(
+        self, exclude_adopted: bool = False
+    ) -> tuple[int, int, int]:
+        """``(selectivity, cost, recost_spend)`` summed over live anchors
+        *and* evicted ones — the left side of the accounting identity
+        against :class:`~repro.core.get_plan.GetPlan`'s hit counters.
+        With ``exclude_adopted`` the warm-start baseline is subtracted,
+        which is the form the identity takes in a process that adopted a
+        snapshot (the prior process's hits are in the anchors but not in
+        this process's getPlan counters)."""
+        sel = self.evicted_hits_selectivity
+        cost = self.evicted_hits_cost
+        spend = self.evicted_recost_spend
+        for entry in self._instances:
+            sel += entry.hits_selectivity
+            cost += entry.hits_cost
+            spend += entry.recost_spend
+        if exclude_adopted:
+            sel -= self.adopted_hits_selectivity
+            cost -= self.adopted_hits_cost
+            spend -= self.adopted_recost_spend
+        return sel, cost, spend
 
     def memory_bytes(self) -> int:
         """Approximate cache memory (plan list dominates; section 6.1)."""

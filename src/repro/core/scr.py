@@ -15,6 +15,7 @@ Per arriving instance:
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Optional
 
 from ..engine.api import EngineAPI
@@ -146,9 +147,22 @@ class SCR(OnlinePQOTechnique):
             eviction_policy=eviction_policy,
         )
         self.detector = ViolationDetector(bound=bound) if detect_violations else None
+        self.calibration = None
         if obs is not None:
-            instrument_engine(engine, obs)
-            self.get_plan.spans = obs.spans
+            self.attach_observability(obs)
+
+    def attach_observability(self, obs) -> None:
+        """Wire the full stack into one handle, after the fact.
+
+        Same wiring the constructor's ``obs`` argument performs; the
+        serving manager uses this when it owns the handle and builds
+        the SCR itself.  Idempotent (the per-template calibration
+        handle is resolved, not recreated).
+        """
+        self.obs = obs
+        instrument_engine(self.engine, obs)
+        self.get_plan.spans = obs.spans
+        self.calibration = obs.calibration.template(self.engine.template.name)
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -190,14 +204,13 @@ class SCR(OnlinePQOTechnique):
         Shared with the concurrent serving layer, which calls it under
         the shard's write lock after validating the probe's snapshot.
         """
-        if (
-            self.detector is not None
-            and decision.check is CheckKind.COST
-            and decision.anchor is not None
-        ):
-            self.detector.check(
-                decision.anchor, decision.g, decision.l, decision.recost_ratio
-            )
+        if decision.check is CheckKind.COST and decision.anchor is not None:
+            if self.detector is not None:
+                self.detector.check(
+                    decision.anchor, decision.g, decision.l,
+                    decision.recost_ratio,
+                )
+        self._feed_recost_calibration(decision)
         plan = self.cache.plan(decision.plan_id)
         if self.trace is not None:
             self.trace.decision(
@@ -224,9 +237,36 @@ class SCR(OnlinePQOTechnique):
             coverage=decision.coverage,
         )
 
+    def _feed_recost_calibration(self, decision: GetPlanDecision) -> None:
+        """Feed every Recost comparison the cost phase made into the
+        calibration observatory.
+
+        Free samples: each already paid its Recost call.  Predicted =
+        the anchor's stored pointed cost ``C·S``; actual = the fresh
+        Recost (``r·C``); the Cost Bounding Lemma's interval
+        ``[C·S/L^n, C·S·G^n]`` is the slack (legitimate selectivity
+        movement), so only cost-model inconsistency lands in the error
+        histogram — while a uniform model shift moves the raw-ratio
+        stream the drift detector watches.  Fed on hits *and* misses:
+        a drifting model inflates exactly the ratios that fail the
+        cost check, so a hits-only feed would censor its own evidence.
+        """
+        if self.calibration is None or not decision.recost_samples:
+            return
+        degree = self.get_plan.bound.degree
+        for anchor, r, g, l in decision.recost_samples:
+            self.calibration.record_ratio(
+                "recost", decision.certificate,
+                predicted=anchor.pointed_plan_cost,
+                actual=r * anchor.optimal_cost,
+                log_slack_hi=degree * math.log(max(g, 1.0)),
+                log_slack_lo=degree * math.log(max(l, 1.0)),
+            )
+
     def _miss_choice(
         self, sv: AnySelectivityVector, decision: GetPlanDecision
     ) -> PlanChoice:
+        self._feed_recost_calibration(decision)
         try:
             result = self._optimize(sv)
         except OptimizeUnavailableError:
@@ -423,3 +463,14 @@ class SCR(OnlinePQOTechnique):
     def purge_redundant_plans(self) -> int:
         """Appendix F maintenance: drop existing plans made redundant."""
         return self.manage_cache.purge_redundant_existing_plans(self.engine.recost)
+
+    def recalibrate(self, budget: Optional[int] = None, min_staleness: int = 0):
+        """Proactive recost sweep of stale anchors (drift remediation).
+
+        Re-anchors stored costs at fresh Recost measurements under a
+        call budget and resets the calibration drift alarm; see
+        :func:`repro.obs.calibration.recost_sweep`.
+        """
+        from ..obs.calibration import recost_sweep
+
+        return recost_sweep(self, budget=budget, min_staleness=min_staleness)

@@ -157,6 +157,7 @@ class EngineAPI:
         self.counters.selectivity.record(elapsed)
         if self.instruments is not None:
             self._observe_call("selectivity", start, elapsed)
+            self.instruments.calibration.record_sv(sv)
         return sv
 
     def selectivity_vector_with_error(
@@ -176,6 +177,7 @@ class EngineAPI:
         self.counters.selectivity.record(elapsed)
         if self.instruments is not None:
             self._observe_call("selectivity", start, elapsed)
+            self.instruments.calibration.record_sv(usv.point)
         return usv
 
     def optimize(self, sv: SelectivityVector) -> OptimizationResult:

@@ -250,6 +250,84 @@ class FaultInjector:
         return cost
 
 
+class DriftingCostEngine:
+    """An engine façade whose cost model drifts by a settable factor.
+
+    Models the slow divergence between the optimizer's cost model and
+    reality (statistics refresh, hardware change, data growth): after
+    :meth:`set_factor`, every Optimize and Recost result is scaled by
+    ``factor`` while selectivity estimation passes through untouched.
+    Costs stored in the plan cache *before* the shift become stale, so
+    predicted-vs-recosted calibration ratios move by exactly
+    ``ln factor`` — the signal the drift observatory must detect, and
+    the situation a recost sweep must repair.
+
+    Composes like the other façades::
+
+        DriftingCostEngine(engine, factor=1.0)  # starts calibrated
+    """
+
+    def __init__(self, engine: EngineAPI, factor: float = 1.0) -> None:
+        if factor <= 0.0:
+            raise ValueError(f"factor must be > 0, got {factor}")
+        self.inner = engine
+        self.factor = factor
+
+    def set_factor(self, factor: float) -> None:
+        """Shift the cost model (1.0 = calibrated)."""
+        if factor <= 0.0:
+            raise ValueError(f"factor must be > 0, got {factor}")
+        self.factor = factor
+
+    # -- EngineAPI façade ----------------------------------------------------
+
+    @property
+    def template(self):
+        return self.inner.template
+
+    @property
+    def counters(self):
+        return self.inner.counters
+
+    @property
+    def trace(self):
+        return self.inner.trace
+
+    def begin_instance(self, index: int) -> None:
+        self.inner.begin_instance(index)
+
+    def reset_counters(self) -> None:
+        self.inner.reset_counters()
+
+    def selectivity_vector(self, instance: QueryInstance) -> SelectivityVector:
+        return self.inner.selectivity_vector(instance)
+
+    def selectivity_vector_with_error(
+        self, instance: QueryInstance
+    ) -> UncertainSelectivityVector:
+        return self.inner.selectivity_vector_with_error(instance)
+
+    def optimize(self, sv: SelectivityVector) -> OptimizationResult:
+        result = self.inner.optimize(sv)
+        if self.factor == 1.0:
+            return result
+        return OptimizationResult(
+            plan=result.plan,
+            cost=result.cost * self.factor,
+            shrunken_memo=result.shrunken_memo,
+            memo_groups=result.memo_groups,
+            memo_expressions=result.memo_expressions,
+        )
+
+    def recost(self, shrunken: ShrunkenMemo, sv: SelectivityVector) -> float:
+        return self.inner.recost(shrunken, sv) * self.factor
+
+    def __getattr__(self, name: str):
+        if name == "inner":
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+
 class NoisyEngine:
     """An engine façade whose sVector API returns perturbed selectivities.
 

@@ -311,6 +311,10 @@ class ResilientEngineAPI:
         instruments = self._instruments
         if instruments is not None:
             instruments.degraded[api].inc()
+            # A degraded answer is fabricated locally, so no sample for
+            # it ever reaches the calibration/drift feeds — note the
+            # gap for the doctor's coverage accounting.
+            instruments.feed_gaps[api].inc()
 
     def _attempt(
         self,

@@ -81,3 +81,29 @@ class Oracle:
     def distinct_plans_seen(self) -> int:
         """|P|: distinct optimal plans over all oracle queries so far."""
         return len({p.plan_signature for p in self._cache.values()})
+
+    def feed_calibration(
+        self,
+        calibration,
+        sv: SelectivityVector,
+        predicted_cost: float,
+        kind: str = "exact",
+    ):
+        """Feed one predicted-vs-true cost pair into the drift observatory.
+
+        ``calibration`` is a per-template handle
+        (:class:`~repro.obs.calibration.TemplateCalibration`, e.g.
+        ``scr.calibration`` or ``obs.calibration.template(name)``);
+        ``predicted_cost`` is what the technique's engine claimed (the
+        optimizer result's cost, or an anchor's stored ``C``); the truth
+        is this oracle's memoized optimal cost at the *clean* ``sv``.
+        This is the only feed that can see estimation noise the engine
+        is internally consistent about (e.g. a NoisyEngine's perturbed
+        selectivities), because only the oracle holds ground truth.
+        Returns the :class:`~repro.obs.calibration.DriftEvent` if this
+        sample crossed the detector, else None.
+        """
+        point = self.optimal(sv)
+        return calibration.record_ratio(
+            "oracle", kind, predicted=predicted_cost, actual=point.optimal_cost
+        )

@@ -28,6 +28,7 @@ ENGINE_DEGRADED = "repro_engine_degraded_total"
 BREAKER_TRANSITIONS = "repro_breaker_transitions_total"
 BREAKER_OPEN = "repro_breaker_open"
 SPAN_SINK_ERRORS = "repro_span_sink_errors_total"
+CALIBRATION_GAPS = "repro_calibration_feed_gaps_total"
 
 _APIS = ("optimize", "recost", "selectivity")
 
@@ -52,6 +53,9 @@ class Observability:
             "Span sink callbacks that raised (isolated from the hot path)",
         ).labels()
         self.audit = GuaranteeAudit(self.registry)
+        from .calibration import CalibrationTracker
+
+        self.calibration = CalibrationTracker(self.registry, spans=self.spans)
         self.slo = None  # attached via attach_slo()
 
     # Convenience delegates so call sites read naturally.
@@ -102,6 +106,7 @@ class Observability:
             "spans_recorded": self.spans.total_recorded,
             "spans_dropped": self.spans.dropped,
             "span_sink_errors": self.spans.sink_errors,
+            "calibration": self.calibration.report(),
             "metrics": self.registry.snapshot(),
         }
         if self.slo is not None:
@@ -145,6 +150,19 @@ class EngineInstruments:
         self.degraded = {
             api: degraded.labels(template=template, api=api) for api in _APIS
         }
+        # Degraded answers are constructed locally (stale-inflated
+        # vectors, fail-closed costs) and never reach the raw engine's
+        # calibration feeds — count the resulting observation gaps so
+        # the doctor can qualify a template's calibration coverage.
+        feed_gaps = registry.counter(
+            CALIBRATION_GAPS,
+            "Responses whose degraded engine answers bypassed the "
+            "calibration feeds",
+            labels=("template", "api"),
+        )
+        self.feed_gaps = {
+            api: feed_gaps.labels(template=template, api=api) for api in _APIS
+        }
         self.retries = registry.counter(
             ENGINE_RETRIES, "Engine call retries", labels=("template",)
         ).labels(template=template)
@@ -158,6 +176,11 @@ class EngineInstruments:
             "1 while the template's recost breaker is open",
             labels=("template",),
         ).labels(template=template)
+        # Per-template calibration handle: the engine feeds each
+        # computed sVector to the selectivity-drift detector (degraded
+        # fallback vectors never reach the raw engine, so they are
+        # excluded automatically).
+        self.calibration = obs.calibration.template(template)
         self.template = template
 
     def breaker_transition(self, transition: str) -> None:

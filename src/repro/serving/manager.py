@@ -154,11 +154,9 @@ class ConcurrentPQOManager(PQOManager):
                 ov.register_shard()
             if self.obs is not None:
                 # Wire the whole stack into the one handle: engine-call
-                # histograms/spans, getPlan phase spans, and the SCR's
-                # certified-bound audit feed.
-                instrument_engine(state.engine, self.obs)
-                state.scr.obs = self.obs
-                state.scr.get_plan.spans = self.obs.spans
+                # histograms/spans, getPlan phase spans, the SCR's
+                # certified-bound audit feed and its calibration handle.
+                state.scr.attach_observability(self.obs)
             with self._all_shard_locks():
                 self._templates[template.name] = state
                 self._shards[template.name] = TemplateShard(
@@ -620,6 +618,44 @@ class ConcurrentPQOManager(PQOManager):
         if self.obs is None:
             return None
         return self.obs.prometheus()
+
+    def doctor_report(self) -> dict[str, object]:
+        """Per-template health judgement (``python -m repro doctor``).
+
+        Unlike :meth:`obs_report` this works without an observability
+        handle too — anchor attribution and hit accounting live in the
+        cache itself; only the calibration sections go ``None``.
+        """
+        from ..obs.doctor import doctor_report
+
+        return doctor_report(self)
+
+    def anchor_summaries(self) -> dict[str, dict[str, int]]:
+        """Compact per-template anchor attribution for heartbeats.
+
+        Small, flat and summable — the shape
+        :func:`~repro.obs.doctor.doctor_from_sources` merges across
+        workers for the cluster doctor view.
+        """
+        out: dict[str, dict[str, int]] = {}
+        with self._all_shard_locks():
+            for name in sorted(self._shards):
+                cache = self._templates[name].scr.cache
+                sel, cost, spend = cache.anchor_hit_totals()
+                entries = list(cache.instances())
+                never_hit_live = sum(
+                    1 for e in entries if e.total_hits == 0
+                )
+                out[name] = {
+                    "live_anchors": len(entries),
+                    "plans_cached": cache.num_plans,
+                    "hits_selectivity": sel,
+                    "hits_cost": cost,
+                    "recost_spend": spend,
+                    "never_hit_live": never_hit_live,
+                    "evicted_never_hit": cache.evicted_never_hit,
+                }
+        return out
 
     @property
     def brownout_level(self):

@@ -1,0 +1,143 @@
+"""Exporter edge cases: empty registries, hostile label values,
+readers racing writers.
+
+The Prometheus text exposition (format 0.0.4) has exactly three
+characters that must be escaped inside a label value — backslash,
+double quote and newline — and a scrape endpoint that emits a raw one
+corrupts the whole exposition for every family after it.  These tests
+pin the escaping, the degenerate empty-registry output, and the
+guarantee that ``snapshot_rows`` / ``to_prometheus`` stay consistent
+while other threads mutate the registry mid-read.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import MetricsRegistry, snapshot_rows, to_prometheus
+
+
+class TestEmptyRegistry:
+    def test_empty_registry_renders_empty_exposition(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+        assert snapshot_rows(MetricsRegistry()) == []
+
+    def test_family_without_children_renders_headers_only(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "Jobs", labels=("queue",))
+        text = to_prometheus(registry)
+        assert text == (
+            "# HELP jobs_total Jobs\n"
+            "# TYPE jobs_total counter\n"
+        )
+
+    def test_family_without_help_skips_help_line(self):
+        registry = MetricsRegistry()
+        registry.counter("bare_total", "", labels=())
+        text = to_prometheus(registry)
+        assert "# HELP" not in text
+        assert "# TYPE bare_total counter" in text
+
+
+class TestLabelEscaping:
+    """Exposition format 0.0.4: ``\\`` -> ``\\\\``, ``"`` -> ``\\"``,
+    newline -> ``\\n``, in that order (backslash first, or the escapes
+    themselves get re-escaped)."""
+
+    def _render(self, value: str) -> str:
+        registry = MetricsRegistry()
+        registry.counter("t_total", "t", labels=("v",)).labels(v=value).inc()
+        return to_prometheus(registry)
+
+    def test_quote_escaped(self):
+        assert 't_total{v="say \\"hi\\""} 1' in self._render('say "hi"')
+
+    def test_newline_escaped(self):
+        text = self._render("line1\nline2")
+        assert 't_total{v="line1\\nline2"} 1' in text
+        # No raw newline may survive inside a sample line.
+        sample = [l for l in text.splitlines() if not l.startswith("#")]
+        assert sample == ['t_total{v="line1\\nline2"} 1']
+
+    def test_backslash_escaped_before_other_escapes(self):
+        # A literal backslash-n in the value must NOT collide with the
+        # newline escape: it renders as \\n (escaped backslash + n),
+        # while a real newline renders as \n.
+        text = self._render("a\\nb")
+        assert 't_total{v="a\\\\nb"} 1' in text
+
+    def test_all_three_together(self):
+        text = self._render('p\\q"r\ns')
+        assert 't_total{v="p\\\\q\\"r\\ns"} 1' in text
+
+    def test_histogram_le_labels_compose_with_escaping(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "lat_seconds", "h", labels=("op",), buckets=(1.0,)
+        )
+        hist.labels(op='read"fast"').observe(0.5)
+        text = to_prometheus(registry)
+        assert 'lat_seconds_bucket{op="read\\"fast\\"",le="1"} 1' in text
+        assert 'lat_seconds_bucket{op="read\\"fast\\"",le="+Inf"} 1' in text
+
+
+class TestConcurrentMutation:
+    """Readers must never crash or tear while writers race them."""
+
+    def test_snapshot_rows_under_concurrent_mutation(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "ops", labels=("worker",))
+        hist = registry.histogram(
+            "work_seconds", "h", labels=("worker",),
+            buckets=(0.001, 0.01, 0.1, 1.0),
+        )
+        stop = threading.Event()
+        errors: list[BaseException] = []
+        writes_per_worker = 3000
+        workers = 4
+
+        def writer(wid: int) -> None:
+            try:
+                mine_c = counter.labels(worker=str(wid))
+                mine_h = hist.labels(worker=str(wid))
+                for i in range(writes_per_worker):
+                    mine_c.inc()
+                    mine_h.observe((i % 100) / 250.0)
+            except BaseException as exc:  # pragma: no cover - fail loud
+                errors.append(exc)
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    rows = snapshot_rows(registry)
+                    for row in rows:
+                        if row["metric"] == "ops_total":
+                            assert 0 <= row["value"] <= writes_per_worker
+                        else:
+                            assert 0 <= row["count"] <= writes_per_worker
+                    text = to_prometheus(registry)
+                    # Every emitted line is complete (no torn lines).
+                    for line in text.splitlines():
+                        assert line.startswith(("#", "ops_total", "work_seconds"))
+            except BaseException as exc:  # pragma: no cover - fail loud
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(w,)) for w in range(workers)
+        ] + [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads[:workers]:
+            t.join()
+        stop.set()
+        for t in threads[workers:]:
+            t.join()
+        assert errors == []
+
+        # Quiescent state is exact: nothing was lost to the races.
+        rows = snapshot_rows(registry, names=["ops_total"])
+        assert sorted(r["worker"] for r in rows) == ["0", "1", "2", "3"]
+        assert all(r["value"] == writes_per_worker for r in rows)
+        final = to_prometheus(registry)
+        for w in range(workers):
+            assert f'ops_total{{worker="{w}"}} {writes_per_worker}' in final

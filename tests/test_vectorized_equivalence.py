@@ -118,6 +118,13 @@ def assert_decisions_identical(ds, dv, context: str) -> None:
     assert ds.bound_value == dv.bound_value, context
     assert ds.certificate == dv.certificate, context
     assert ds.coverage == dv.coverage, context
+    # The calibration feed's uncensored samples must match too: same
+    # anchors recosted, in order, with identical (r, g, l).
+    assert len(ds.recost_samples) == len(dv.recost_samples), context
+    for (ea, ra, ga, la), (eb, rb, gb, lb) in zip(
+        ds.recost_samples, dv.recost_samples
+    ):
+        assert ea is eb and ra == rb and ga == gb and la == lb, context
 
 
 @pytest.mark.parametrize("check_mode", ["point", "robust", "probabilistic"])
@@ -195,6 +202,93 @@ def test_differential_explicit_entry_subsets():
         ds = scalar.probe(sv, recost, entries=subset)
         dv = vectorized.probe(sv, recost, entries=subset)
         assert_decisions_identical(ds, dv, f"subset t={t}")
+
+
+@pytest.mark.parametrize("check_mode", ["robust", "probabilistic"])
+def test_batch_shared_corner_kernel_parity(check_mode):
+    """Batches with duplicated coverage boxes share one corner kernel.
+
+    ``probe_batch`` deduplicates identical (lo, hi) boxes before the
+    corner G·L kernel and gathers the rows back by inverse index — this
+    drives batches where most rows repeat a handful of boxes (the
+    dedupe=False serving shape) and checks two things: the kernel
+    really ran on fewer rows than the batch, and every decision is
+    still bit-identical to the scalar per-probe reference.
+    """
+    from repro.core import get_plan as get_plan_module
+
+    rng = random.Random(17)
+    cache = build_cache(rng, 70, 4)
+    common = dict(cache=cache, lam=1.8, check_mode=check_mode)
+    scalar = GetPlan(check_impl="scalar", **common)
+    vectorized = GetPlan(check_impl="vectorized", **common)
+    recost = make_recost(8)
+    kernel_rows = []
+    real_kernel = get_plan_module.corner_gl_matrix
+
+    def counting_kernel(sv, lo, hi, sv_sq=None):
+        kernel_rows.append(len(lo))
+        return real_kernel(sv, lo, hi, sv_sq)
+
+    get_plan_module.corner_gl_matrix = counting_kernel
+    try:
+        for t in range(12):
+            unique = [random_input(rng, 4, True) for _ in range(5)]
+            batch = []
+            for usv in unique:
+                batch.extend([usv] * rng.randint(2, 4))
+            rng.shuffle(batch)
+            coverage = rng.choice([None, 0.7])
+            kernel_rows.clear()
+            dv = vectorized.probe_batch(batch, recost, coverage=coverage)
+            # Each chunk evaluates at most one kernel row per distinct
+            # box, and every row is duplicated: strictly fewer kernel
+            # rows than batch rows.
+            assert kernel_rows
+            assert all(rows <= len(unique) for rows in kernel_rows)
+            assert sum(kernel_rows) < len(batch)
+            ds = [
+                scalar.probe(sv, recost, coverage=coverage) for sv in batch
+            ]
+            for i, (a, b) in enumerate(zip(ds, dv)):
+                assert_decisions_identical(
+                    a, b, f"{check_mode} t={t} row={i}"
+                )
+    finally:
+        get_plan_module.corner_gl_matrix = real_kernel
+
+
+def test_batch_single_box_evaluates_one_kernel_row():
+    """The degenerate (and common) case: one box for the whole batch."""
+    from repro.core import get_plan as get_plan_module
+
+    rng = random.Random(23)
+    cache = build_cache(rng, 50, 3)
+    vectorized = GetPlan(
+        cache=cache, lam=1.6, check_mode="robust", check_impl="vectorized"
+    )
+    scalar = GetPlan(
+        cache=cache, lam=1.6, check_mode="robust", check_impl="scalar"
+    )
+    recost = make_recost(3)
+    usv = random_input(rng, 3, True)
+    batch = [usv] * 16
+    kernel_rows = []
+    real_kernel = get_plan_module.corner_gl_matrix
+
+    def counting_kernel(sv, lo, hi, sv_sq=None):
+        kernel_rows.append(len(lo))
+        return real_kernel(sv, lo, hi, sv_sq)
+
+    get_plan_module.corner_gl_matrix = counting_kernel
+    try:
+        dv = vectorized.probe_batch(batch, recost)
+    finally:
+        get_plan_module.corner_gl_matrix = real_kernel
+    assert kernel_rows == [1]  # 16 rows, one shared box, one kernel row
+    ds = [scalar.probe(sv, recost) for sv in batch]
+    for i, (a, b) in enumerate(zip(ds, dv)):
+        assert_decisions_identical(a, b, f"single-box row={i}")
 
 
 def _toy_template() -> QueryTemplate:
